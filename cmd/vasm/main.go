@@ -1,0 +1,84 @@
+// Command vasm assembles VVM assembly into a loadable program image.
+//
+// Usage:
+//
+//	vasm -name myprog -o myprog.img prog.vasm
+//	vasm -dump prog.vasm           # disassembly + hex of the bytecode
+//
+// The output file is the image format the simulated file server stores and
+// the program manager loads (see internal/image).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vsystem/internal/image"
+	"vsystem/internal/vvm"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "program name (default: input file base name)")
+		out   = flag.String("o", "", "output image file (default: <name>.img)")
+		space = flag.Uint("space", 128, "address-space size in KB beyond code")
+		dump  = flag.Bool("dump", false, "print a hex dump instead of writing an image")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vasm [-name n] [-o file] [-space KB] [-dump] prog.vasm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(1)
+	}
+	code, err := vvm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(1)
+	}
+	if *dump {
+		fmt.Print(vvm.Disassemble(code))
+		for i := 0; i < len(code); i += 16 {
+			end := i + 16
+			if end > len(code) {
+				end = len(code)
+			}
+			fmt.Printf("; %08x  % x\n", vvm.CodeBase+i, code[i:end])
+		}
+		fmt.Printf("; %d bytes at %#x\n", len(code), vvm.CodeBase)
+		return
+	}
+	n := *name
+	if n == "" {
+		base := flag.Arg(0)
+		for i := len(base) - 1; i >= 0; i-- {
+			if base[i] == '/' {
+				base = base[i+1:]
+				break
+			}
+		}
+		if i := len(base) - len(".vasm"); i > 0 && base[i:] == ".vasm" {
+			base = base[:i]
+		}
+		n = base
+	}
+	img := &image.Image{
+		Name:      n,
+		Kind:      vvm.BodyKind,
+		Code:      code,
+		SpaceSize: uint32(vvm.CodeBase) + uint32(len(code)) + uint32(*space)*1024,
+	}
+	o := *out
+	if o == "" {
+		o = n + ".img"
+	}
+	if err := os.WriteFile(o, img.Encode(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vasm: %s: %d bytes of code, image %s (%d bytes)\n", n, len(code), o, img.Size())
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vsystem/internal/image"
+)
+
+// buildAndRun compiles vasm once per test binary and runs it.
+func runVasm(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "vasm")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+const sample = `
+        LDI r0, 42
+        HALT r0
+`
+
+func TestAssembleToImage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "answer.vasm")
+	os.WriteFile(src, []byte(sample), 0o644)
+	out := filepath.Join(dir, "answer.img")
+	stdout, err := runVasm(t, "-o", out, src)
+	if err != nil {
+		t.Fatalf("vasm: %v\n%s", err, stdout)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := image.Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Name != "answer" || img.Kind != "vvm" || len(img.Code) == 0 {
+		t.Fatalf("image = %+v", img)
+	}
+}
+
+func TestDumpDisassembles(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.vasm")
+	os.WriteFile(src, []byte(sample), 0o644)
+	stdout, err := runVasm(t, "-dump", src)
+	if err != nil {
+		t.Fatalf("vasm -dump: %v\n%s", err, stdout)
+	}
+	if !strings.Contains(stdout, "LDI r0, 0x2a") || !strings.Contains(stdout, "HALT r0") {
+		t.Fatalf("dump missing disassembly:\n%s", stdout)
+	}
+}
+
+func TestAssembleErrorReported(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "bad.vasm")
+	os.WriteFile(src, []byte("FROB r1\n"), 0o644)
+	stdout, err := runVasm(t, src)
+	if err == nil {
+		t.Fatalf("bad source assembled:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "unknown mnemonic") {
+		t.Fatalf("unhelpful error:\n%s", stdout)
+	}
+}

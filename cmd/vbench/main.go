@@ -1,0 +1,66 @@
+// Command vbench regenerates the paper's tables and figures on the
+// simulated cluster and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	vbench                  # run every experiment
+//	vbench -e dirty-rates   # run one experiment
+//	vbench -list            # list experiment ids
+//	vbench -seed 7          # change the simulation seed
+//	vbench -root .          # repo root, for the space-cost experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vsystem/internal/experiments"
+)
+
+func main() {
+	var (
+		exp  = flag.String("e", "", "run a single experiment id (see -list)")
+		seed = flag.Int64("seed", 1, "simulation seed")
+		list = flag.Bool("list", false, "list experiment ids")
+		root = flag.String("root", ".", "repository root (for the space experiment)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names() {
+			fmt.Println(n)
+		}
+		fmt.Println("space")
+		return
+	}
+
+	fail := 0
+	run := func(r *experiments.Result) {
+		fmt.Println(r.Format())
+		if !r.Pass {
+			fail++
+		}
+	}
+
+	switch {
+	case *exp == "space":
+		run(experiments.SpaceCost(*root))
+	case *exp != "":
+		f, ok := experiments.ByName(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "vbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(f(*seed))
+	default:
+		for _, r := range experiments.All(*seed) {
+			run(r)
+		}
+		run(experiments.SpaceCost(*root))
+	}
+	if fail > 0 {
+		fmt.Fprintf(os.Stderr, "vbench: %d experiment(s) failed shape assertions\n", fail)
+		os.Exit(1)
+	}
+}

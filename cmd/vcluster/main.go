@@ -1,0 +1,401 @@
+// Command vcluster is a scriptable command interpreter for a simulated
+// V-System cluster: the `exec @ machine` / `migrateprog` experience of the
+// paper, driven from stdin.
+//
+// Commands (one per line; `#` starts a comment):
+//
+//	run <prog> [args] [@ <where>]   execute a program (local, * = any idle)
+//	wait <job>                 wait for a job to exit
+//	migrate <job>              migrateprog: move the job elsewhere
+//	migrate -n <job>           migrateprog -n: destroy if no host accepts
+//	migrateall <host>          evict all guest programs from a host
+//	suspend <job>              freeze a program (transparent to location)
+//	resume <job>               unfreeze a suspended program
+//	inspect <job>              read the program's registers (remote debug)
+//	ps <host>                  list programs on a host
+//	display [<host>]           show a workstation's display contents
+//	crash <host>               power a workstation off
+//	advance <dur>              advance virtual time (e.g. 2s, 500ms)
+//	names                      list global name-service bindings
+//	stats                      cluster-wide metrics snapshot
+//	loss <p>                   set the Ethernet frame-loss probability
+//	hosts                      list workstations
+//	time                       print the virtual clock
+//	quit
+//
+// Example:
+//
+//	echo 'run primes5000 @ *
+//	wait j1
+//	display' | vcluster -n 5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vsystem/internal/ethernet"
+
+	"vsystem/internal/core"
+	"vsystem/internal/nameserver"
+	"vsystem/internal/progs"
+	"vsystem/internal/vid"
+	"vsystem/internal/workload"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 4, "number of workstations")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		loss   = flag.Float64("loss", 0, "Ethernet frame loss probability")
+		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush")
+	)
+	flag.Parse()
+
+	pol := core.PolicyPrecopy
+	switch *policy {
+	case "stopcopy":
+		pol = core.PolicyStopCopy
+	case "flush":
+		pol = core.PolicyFlush
+	case "precopy":
+	default:
+		fmt.Fprintln(os.Stderr, "vcluster: unknown policy", *policy)
+		os.Exit(2)
+	}
+
+	r := newRepl(core.Options{Workstations: *n, Seed: *seed, LossRate: *loss, Policy: pol}, os.Stdout)
+	r.loop(os.Stdin)
+}
+
+type repl struct {
+	c      *core.Cluster
+	jobs   map[string]*core.Job
+	jobSeq int
+	out    io.Writer
+}
+
+// newRepl boots a cluster with the standard images installed.
+func newRepl(opt core.Options, out io.Writer) *repl {
+	c := core.NewCluster(opt)
+	c.Install(progs.Hello())
+	c.Install(progs.Primes(5000))
+	c.Install(progs.Ticker(100))
+	c.Install(progs.MemWalker(128, 300))
+	c.Install(progs.PrimesRange())
+	c.Install(progs.FileIO())
+	for _, img := range workload.PaperImages() {
+		c.Install(img)
+	}
+	return &repl{c: c, jobs: map[string]*core.Job{}, out: out}
+}
+
+func (r *repl) printf(f string, a ...any) { fmt.Fprintf(r.out, f+"\n", a...) }
+
+// do runs fn on a fresh agent on node 0 and advances the simulation until
+// it completes (bounded).
+func (r *repl) do(fn func(a *core.Agent)) {
+	done := false
+	r.c.Node(0).Agent(func(a *core.Agent) {
+		fn(a)
+		done = true
+	})
+	for i := 0; i < 600 && !done; i++ {
+		r.c.Run(time.Second)
+	}
+	if !done {
+		r.printf("! command did not complete within 10 minutes of virtual time")
+	}
+}
+
+func (r *repl) node(name string) *core.Node {
+	for _, n := range r.c.Nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	r.printf("! no such host %q", name)
+	return nil
+}
+
+func (r *repl) loop(in io.Reader) {
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if !r.exec(line) {
+			return
+		}
+	}
+}
+
+// exec runs one command; false means quit.
+func (r *repl) exec(line string) bool {
+	f := strings.Fields(line)
+	switch f[0] {
+	case "quit", "exit":
+		return false
+
+	case "time":
+		r.printf("%v", r.c.Sim.Now())
+
+	case "hosts":
+		for _, n := range r.c.Nodes {
+			state := "idle"
+			if !n.Host.CPU.Idle() {
+				state = "busy"
+			}
+			if n.Host.Crashed() {
+				state = "crashed"
+			}
+			r.printf("%-6s %-7s %5d KB free", n.Name(), state, n.Host.MemFree()/1024)
+		}
+
+	case "advance":
+		if len(f) < 2 {
+			r.printf("! advance <duration>")
+			break
+		}
+		d, err := time.ParseDuration(f[1])
+		if err != nil {
+			r.printf("! %v", err)
+			break
+		}
+		r.c.Run(d)
+		r.printf("clock: %v", r.c.Sim.Now())
+
+	case "run":
+		where := ""
+		rest := f[1:]
+		for i, a := range rest {
+			if a == "@" {
+				if i+1 < len(rest) {
+					where = rest[i+1]
+				}
+				rest = rest[:i]
+				break
+			}
+		}
+		if len(rest) == 0 {
+			r.printf("! run <prog> [args] [@ where]")
+			break
+		}
+		prog, args := rest[0], rest[1:]
+		r.do(func(a *core.Agent) {
+			job, err := a.Exec(prog, args, where)
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			r.jobSeq++
+			id := fmt.Sprintf("j%d", r.jobSeq)
+			r.jobs[id] = job
+			r.printf("%s: %s on %s (lh %v)", id, prog, job.Host, job.LHID)
+		})
+
+	case "wait":
+		job := r.job(f)
+		if job == nil {
+			break
+		}
+		r.do(func(a *core.Agent) {
+			code, err := a.Wait(job)
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			r.printf("%s exited with code %d at %v", job.Name, code, a.Now())
+		})
+
+	case "migrate":
+		kill := false
+		if len(f) > 1 && f[1] == "-n" {
+			kill = true
+			f = append(f[:1], f[2:]...)
+		}
+		job := r.job(f)
+		if job == nil {
+			break
+		}
+		r.do(func(a *core.Agent) {
+			rep, err := a.Migrate(job, kill)
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			if rep == nil {
+				r.printf("%s destroyed (no host would accept it)", job.Name)
+				return
+			}
+			r.printf("%s migrated (%s): %d round(s), residual %.1f KB, frozen %v",
+				job.Name, rep.Policy, len(rep.Rounds), rep.ResidualKB, rep.FreezeTime)
+		})
+
+	case "suspend", "resume":
+		job := r.job(f)
+		if job == nil {
+			break
+		}
+		op := f[0]
+		r.do(func(a *core.Agent) {
+			var err error
+			if op == "suspend" {
+				err = a.Suspend(job)
+			} else {
+				err = a.Resume(job)
+			}
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			past := "suspended"
+			if op == "resume" {
+				past = "resumed"
+			}
+			r.printf("%s %s", job.Name, past)
+		})
+
+	case "inspect":
+		job := r.job(f)
+		if job == nil {
+			break
+		}
+		r.do(func(a *core.Agent) {
+			regs, state, err := a.Inspect(job.PID)
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			states := []string{"running", "stopped", "dead"}
+			r.printf("%s (%v) %s", job.Name, job.PID, states[state%3])
+			r.printf("  phase=%d exit=%d w=%v", regs.W[0], regs.W[1], regs.W[2:10])
+		})
+
+	case "migrateall":
+		if len(f) < 2 {
+			r.printf("! migrateall <host>")
+			break
+		}
+		n := r.node(f[1])
+		if n == nil {
+			break
+		}
+		r.do(func(a *core.Agent) {
+			if err := a.MigrateAll(n, false); err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			r.printf("eviction of guests from %s requested", n.Name())
+		})
+
+	case "ps":
+		if len(f) < 2 {
+			r.printf("! ps <host>")
+			break
+		}
+		n := r.node(f[1])
+		if n == nil {
+			break
+		}
+		r.do(func(a *core.Agent) {
+			s, err := a.PS(n)
+			if err != nil {
+				r.printf("! %v", err)
+				return
+			}
+			if s == "" {
+				s = "(no programs)\n"
+			}
+			fmt.Fprint(r.out, s)
+		})
+
+	case "display":
+		name := "ws0"
+		if len(f) > 1 {
+			name = f[1]
+		}
+		n := r.node(name)
+		if n == nil {
+			break
+		}
+		for _, l := range n.Display.Lines() {
+			r.printf("%s| %s", name, l)
+		}
+
+	case "stats":
+		st := r.c.Snapshot()
+		r.printf("t=%v  frames=%d lost=%d bus-busy=%v  fileserver-frames=%d",
+			st.VirtualTime, st.Frames, st.FramesLost, st.BusBusy, st.ServerFrames)
+		for _, h := range st.Hosts {
+			r.printf("  %-5s util=%5.1f%% guests=%d locals=%d memfree=%dK retx=%d tx/rx=%d/%d",
+				h.Name, h.Utilization*100, h.Guests, h.Locals, h.MemFreeKB,
+				h.Retransmits, h.TxFrames, h.RxFrames)
+		}
+
+	case "loss":
+		if len(f) < 2 {
+			r.printf("! loss <probability>")
+			break
+		}
+		p, err := strconv.ParseFloat(f[1], 64)
+		if err != nil || p < 0 || p > 1 {
+			r.printf("! loss must be in [0,1]")
+			break
+		}
+		if p == 0 {
+			r.c.Bus.SetLoss(nil)
+		} else {
+			r.c.Bus.SetLoss(ethernet.RandomLoss(r.c.Sim, p))
+		}
+		r.printf("frame loss set to %.0f%%", p*100)
+
+	case "names":
+		r.do(func(a *core.Agent) {
+			m, err := a.Ctx().Send(vid.GroupNameServers, vid.Message{Op: nameserver.NsList})
+			if err != nil || !m.OK() {
+				r.printf("! name service unavailable")
+				return
+			}
+			fmt.Fprint(r.out, m.SegString())
+		})
+
+	case "crash":
+		if len(f) < 2 {
+			r.printf("! crash <host>")
+			break
+		}
+		n := r.node(f[1])
+		if n == nil {
+			break
+		}
+		n.Host.Crash()
+		r.printf("%s crashed", n.Name())
+
+	default:
+		r.printf("! unknown command %q", f[0])
+	}
+	return true
+}
+
+func (r *repl) job(f []string) *core.Job {
+	if len(f) < 2 {
+		r.printf("! need a job id")
+		return nil
+	}
+	job := r.jobs[f[1]]
+	if job == nil {
+		r.printf("! unknown job %q", f[1])
+	}
+	return job
+}

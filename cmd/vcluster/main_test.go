@@ -1,0 +1,152 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"vsystem/internal/core"
+)
+
+// script drives the REPL with a command script and returns its output.
+func script(t *testing.T, opt core.Options, cmds string) string {
+	t.Helper()
+	var out strings.Builder
+	r := newRepl(opt, &out)
+	r.loop(strings.NewReader(cmds))
+	return out.String()
+}
+
+func TestScriptedSession(t *testing.T) {
+	out := script(t, core.Options{Workstations: 4, Seed: 1}, `
+# a comment
+run hello @ ws1
+wait j1
+run tex @ ws2
+ps ws2
+migrate j2
+display ws0
+hosts
+quit
+`)
+	for _, w := range []string{
+		"j1: hello on ws1",
+		"hello exited with code 0",
+		"j2: tex on ws2",
+		"guest=true",
+		"tex migrated (precopy)",
+		"ws0| hello from the VVM",
+		"ws1 ",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestScriptedErrors(t *testing.T) {
+	out := script(t, core.Options{Workstations: 2, Seed: 2}, `
+run nosuchprogram
+wait j9
+migrate j9
+ps
+frobnicate
+crash ws9
+advance xyz
+`)
+	for _, w := range []string{
+		"! v: not-found",
+		`! unknown job "j9"`,
+		"! ps <host>",
+		`! unknown command "frobnicate"`,
+		`! no such host "ws9"`,
+		"! time: invalid duration",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestScriptedCrashAndAdvance(t *testing.T) {
+	out := script(t, core.Options{Workstations: 3, Seed: 3}, `
+crash ws2
+hosts
+advance 1500ms
+time
+`)
+	if !strings.Contains(out, "ws2 crashed") || !strings.Contains(out, "ws2    crashed") {
+		t.Fatalf("crash not reflected:\n%s", out)
+	}
+	if !strings.Contains(out, "clock: 1.5") {
+		t.Fatalf("advance not reflected:\n%s", out)
+	}
+}
+
+func TestScriptedMigrateKill(t *testing.T) {
+	// The only other workstation (ws0) runs the owner's local program, so
+	// no host will take the guest: migrate -n destroys it.
+	out := script(t, core.Options{Workstations: 2, Seed: 4}, `
+run tex
+run ticker100 @ ws1
+advance 2s
+migrate -n j2
+`)
+	if !strings.Contains(out, "destroyed (no host would accept it)") {
+		t.Fatalf("migrate -n did not destroy:\n%s", out)
+	}
+}
+
+func TestScriptedSuspendResumeInspect(t *testing.T) {
+	out := script(t, core.Options{Workstations: 3, Seed: 5}, `
+run ticker100 @ ws1
+suspend j1
+inspect j1
+advance 5s
+resume j1
+wait j1
+`)
+	for _, w := range []string{
+		"ticker100 suspended",
+		"running", // inspect shows the process table state (started)
+		"ticker100 resumed",
+		"ticker100 exited with code 0",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestScriptedStatsAndLoss(t *testing.T) {
+	out := script(t, core.Options{Workstations: 2, Seed: 6}, `
+run ticker100 @ ws1
+loss 0.05
+advance 2s
+stats
+loss 0
+`)
+	for _, w := range []string{
+		"frame loss set to 5%",
+		"frame loss set to 0%",
+		"ws1",
+		"guests=1",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestScriptedProgramArguments(t *testing.T) {
+	out := script(t, core.Options{Workstations: 2, Seed: 7}, `
+run primesrange 2 100 @ ws1
+wait j1
+display
+`)
+	if !strings.Contains(out, "primesrange exited with code 25") {
+		t.Fatalf("π(100) not computed from arguments:\n%s", out)
+	}
+	if !strings.Contains(out, "ws0| 25") {
+		t.Fatalf("output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,81 @@
+// Preemption: the paper's headline scenario (§1, §3). A long-running
+// simulation job is offloaded onto an idle workstation. Its owner returns
+// and reclaims the machine with `migrateprog`: the job is pre-copied to
+// another idle workstation while it keeps running, frozen only for the
+// residue — and its output stream on the home display never misses a
+// line.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/core"
+	"vsystem/internal/progs"
+	"vsystem/internal/workload"
+)
+
+func main() {
+	c := core.NewCluster(core.Options{Workstations: 5, Seed: 2})
+	c.Install(progs.Ticker(150)) // the "simulation job": prints t1..t150
+	tex, _ := workload.PaperSpec("tex")
+	c.Install(workload.Image(tex, 220*1024)) // the owner's own work
+
+	var report *core.MigrationReport
+	c.Node(0).Agent(func(a *core.Agent) {
+		fmt.Println("researcher@ws0$ ticker150 @ *     # long simulation job")
+		job, err := a.Exec("ticker150", nil, "*")
+		must(err)
+		victim := job.Host
+		fmt.Printf("  [job placed on idle %s]\n", victim)
+
+		a.Sleep(2 * time.Second)
+
+		// The owner of that workstation returns and starts working...
+		fmt.Printf("\nowner@%s returns and runs tex locally; then evicts guests:\n", victim)
+		fmt.Printf("owner@%s$ tex &\n", victim)
+		var ownerNode *core.Node
+		for _, n := range c.Nodes {
+			if n.Name() == victim {
+				ownerNode = n
+			}
+		}
+		ownerNode.Agent(func(o *core.Agent) {
+			o.Exec("tex", nil, "")
+		})
+		a.Sleep(time.Second)
+
+		fmt.Printf("owner@%s$ migrateprog\n", victim)
+		t0 := a.Now()
+		report, err = a.Migrate(job, false)
+		must(err)
+		fmt.Printf("  [migrateprog done in %v total]\n", a.Now().Sub(t0))
+
+		_, err = a.Wait(job)
+		must(err)
+	})
+	c.Run(10 * time.Minute)
+
+	fmt.Println("\nmigration report (the §3.1 pre-copy sequence):")
+	fmt.Printf("  policy        %s\n", report.Policy)
+	for i, rd := range report.Rounds {
+		what := "initial copy of the address spaces"
+		if i > 0 {
+			what = "copy of pages modified during the previous round"
+		}
+		fmt.Printf("  round %d       %4d pages (%.0f KB) in %v   %s\n", i, rd.Pages, rd.KB, rd.Dur, what)
+	}
+	fmt.Printf("  frozen for    %v (residual %.1f KB + kernel state, %d items)\n",
+		report.FreezeTime, report.ResidualKB, report.KernelItems)
+
+	lines := c.Node(0).Display.Lines()
+	fmt.Printf("\nthe job printed %d/150 lines; first %q, last %q — no line was\n",
+		len(lines), lines[0], lines[len(lines)-1])
+	fmt.Println("lost or duplicated across the migration (exactly-once IPC).")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

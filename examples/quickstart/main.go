@@ -1,0 +1,56 @@
+// Quickstart: boot a simulated V-System cluster, offload a program onto
+// an idle workstation with `@ *`, and watch its output arrive on the home
+// workstation's display — the paper's basic remote-execution experience.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/core"
+	"vsystem/internal/progs"
+)
+
+func main() {
+	// A cluster of 4 diskless workstations plus a file-server machine.
+	c := core.NewCluster(core.Options{Workstations: 4, Seed: 1})
+
+	// Install program images on the network file server.
+	c.Install(progs.Hello())
+	c.Install(progs.Primes(5000))
+
+	// An interactive user sits at ws0. Their agent (command interpreter)
+	// runs programs and waits for them.
+	c.Node(0).Agent(func(a *core.Agent) {
+		fmt.Println("user@ws0$ hello")
+		job, err := a.Exec("hello", nil, "") // local execution
+		must(err)
+		code, err := a.Wait(job)
+		must(err)
+		fmt.Printf("  [ran locally, exit %d, t=%v]\n", code, a.Now())
+
+		fmt.Println("user@ws0$ primes5000 @ *")
+		t0 := a.Now()
+		job, err = a.Exec("primes5000", nil, "*") // some other idle machine
+		must(err)
+		fmt.Printf("  [decentralized selection picked %s]\n", job.Host)
+		code, err = a.Wait(job)
+		must(err)
+		fmt.Printf("  [remote run finished, exit %d, took %v]\n", code, a.Now().Sub(t0))
+	})
+
+	// Advance virtual time until everything completes.
+	c.Run(5 * time.Minute)
+
+	fmt.Println("\nws0 display (output is network-transparent — the remote")
+	fmt.Println("program wrote to the display server of the HOME workstation):")
+	for _, line := range c.Node(0).Display.Lines() {
+		fmt.Println("  |", line)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

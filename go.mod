@@ -1,0 +1,3 @@
+module vsystem
+
+go 1.23

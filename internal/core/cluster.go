@@ -1,0 +1,245 @@
+// Package core implements the paper's contribution on top of the
+// substrates: transparent remote execution (`prog args @ host`, `prog args
+// @ *`), decentralized host selection through the program-manager group,
+// and preemptable migration of logical hosts with pre-copying — plus the
+// comparator policies used by the evaluation (stop-and-copy, the §3.2
+// flush-to-file-server variant, and Demos/MP-style forwarding addresses).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/display"
+	"vsystem/internal/ethernet"
+	"vsystem/internal/fileserver"
+	"vsystem/internal/image"
+	"vsystem/internal/kernel"
+	"vsystem/internal/nameserver"
+	"vsystem/internal/progmgr"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Options configures a simulated cluster.
+type Options struct {
+	// Workstations is the number of diskless workstations (the paper's
+	// cluster had ~25). Default 4.
+	Workstations int
+	// Seed drives all randomness (loss, jitter). Default 1.
+	Seed int64
+	// LossRate is the per-frame Ethernet loss probability. Default 0.
+	LossRate float64
+	// Policy selects the migration policy for all program managers.
+	// Default PolicyPrecopy.
+	Policy Policy
+}
+
+// Cluster is a simulated V installation: workstations plus a server
+// machine running the network file server.
+type Cluster struct {
+	Sim   *sim.Engine
+	Bus   *ethernet.Bus
+	Nodes []*Node
+	// FSHost is the dedicated server machine.
+	FSHost *kernel.Host
+	FS     *fileserver.Server
+	// NS is the global name server (resident on the server machine).
+	NS *nameserver.Server
+
+	agents int
+	pagers map[vid.LHID]*PagerStats
+}
+
+// Node is one workstation: kernel, program manager, display server.
+type Node struct {
+	Host     *kernel.Host
+	PM       *progmgr.PM
+	Display  *display.Server
+	cluster  *Cluster
+	pagerSeq uint16
+}
+
+// Name returns the workstation's host name.
+func (n *Node) Name() string { return n.Host.Name }
+
+// NewCluster boots a cluster.
+func NewCluster(opt Options) *Cluster {
+	if opt.Workstations == 0 {
+		opt.Workstations = 4
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	eng := sim.NewEngine(opt.Seed)
+	bus := ethernet.NewBus(eng)
+	if opt.LossRate > 0 {
+		bus.SetLoss(ethernet.RandomLoss(eng, opt.LossRate))
+	}
+	c := &Cluster{Sim: eng, Bus: bus}
+	for i := 0; i < opt.Workstations; i++ {
+		h := kernel.NewHost(eng, bus, i, fmt.Sprintf("ws%d", i))
+		n := &Node{Host: h, cluster: c}
+		n.PM = progmgr.Start(h)
+		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c}
+		n.Display = display.Start(h)
+		c.Nodes = append(c.Nodes, n)
+	}
+	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
+	c.FS = fileserver.Start(c.FSHost)
+	c.NS = nameserver.Start(c.FSHost)
+	// Resident servers announce themselves to the global name service.
+	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
+	for _, n := range c.Nodes {
+		nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
+		nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())
+	}
+	return c
+}
+
+// Install stores a program image on the file server.
+func (c *Cluster) Install(img *image.Image) {
+	c.FS.Put(img.Name, img.Encode())
+}
+
+// Run advances the cluster by d of virtual time.
+func (c *Cluster) Run(d time.Duration) { c.Sim.RunFor(d) }
+
+// Node returns the workstation with the given index.
+func (c *Cluster) Node(i int) *Node { return c.Nodes[i] }
+
+// NodeByLH maps a system logical-host id back to its node (nil if it is
+// not a workstation's system LH).
+func (c *Cluster) NodeByLH(lh vid.LHID) *Node {
+	for _, n := range c.Nodes {
+		if n.Host.SystemLH().ID() == lh {
+			return n
+		}
+	}
+	return nil
+}
+
+// FindProgram locates a program's logical host anywhere in the cluster
+// (experiments/tools; not a simulated operation).
+func (c *Cluster) FindProgram(lhid vid.LHID) (*Node, *kernel.LogicalHost) {
+	for _, n := range c.Nodes {
+		if lh, ok := n.Host.LookupLH(lhid); ok {
+			return n, lh
+		}
+	}
+	return nil, nil
+}
+
+// Agent spawns a user agent — the command-interpreter stand-in — on the
+// node, running fn. The returned process finishes when fn returns.
+func (n *Node) Agent(fn func(a *Agent)) *kernel.Process {
+	n.cluster.agents++
+	name := fmt.Sprintf("agent%d", n.cluster.agents)
+	return n.Host.SpawnServer(name, 16*1024, func(ctx *kernel.ProcCtx) {
+		fn(&Agent{node: n, ctx: ctx})
+	})
+}
+
+// Agent is the user's command interpreter: it executes programs locally or
+// remotely, waits for them, and preempts them — the client side of §2 and
+// §3. All methods block within the simulation and must only be called from
+// the agent's own function.
+type Agent struct {
+	node  *Node
+	ctx   *kernel.ProcCtx
+	names map[string]vid.PID // local name cache (§6)
+}
+
+// Resolve maps a symbolic name to a PID, consulting the agent's cache
+// first and the global name-server group on a miss.
+func (a *Agent) Resolve(name string) (vid.PID, error) {
+	if pid, ok := a.names[name]; ok {
+		return pid, nil
+	}
+	pid, err := nameserver.Lookup(a.ctx, name)
+	if err != nil {
+		return vid.Nil, err
+	}
+	if a.names == nil {
+		a.names = make(map[string]vid.PID)
+	}
+	a.names[name] = pid
+	return pid, nil
+}
+
+// Node returns the agent's home workstation.
+func (a *Agent) Node() *Node { return a.node }
+
+// Ctx exposes the underlying process context for advanced scenarios.
+func (a *Agent) Ctx() *kernel.ProcCtx { return a.ctx }
+
+// Println writes a line to the home workstation's display.
+func (a *Agent) Println(s string) {
+	a.ctx.Send(a.node.Display.PID(), vid.Message{Op: display.OpWriteLine, Seg: []byte(s)})
+}
+
+// Sleep suspends the agent.
+func (a *Agent) Sleep(d time.Duration) { a.ctx.Sleep(d) }
+
+// Now returns the virtual time.
+func (a *Agent) Now() sim.Time { return a.ctx.Now() }
+
+// Stats is a cluster-wide metrics snapshot (operator tooling).
+type Stats struct {
+	VirtualTime  sim.Time
+	Frames       int64
+	FramesLost   int64
+	BusBusy      time.Duration
+	Hosts        []HostStats
+	ServerFrames int64 // file-server machine traffic
+}
+
+// HostStats describes one workstation.
+type HostStats struct {
+	Name        string
+	Utilization float64
+	Idle        bool
+	Crashed     bool
+	MemFreeKB   uint32
+	Guests      int
+	Locals      int
+	Retransmits int64
+	TxFrames    int64
+	RxFrames    int64
+}
+
+// Snapshot collects cluster-wide metrics.
+func (c *Cluster) Snapshot() Stats {
+	bs := c.Bus.Stats()
+	st := Stats{
+		VirtualTime: c.Sim.Now(),
+		Frames:      bs.Frames,
+		FramesLost:  bs.Dropped,
+		BusBusy:     bs.BusyTime,
+	}
+	for _, n := range c.Nodes {
+		hs := HostStats{
+			Name:        n.Name(),
+			Utilization: n.Host.CPU.Utilization(),
+			Idle:        n.Host.CPU.Idle(),
+			Crashed:     n.Host.Crashed(),
+			MemFreeKB:   n.Host.MemFree() / 1024,
+			Retransmits: n.Host.IPC.Stats().Retransmits,
+		}
+		hs.TxFrames, hs.RxFrames = n.Host.NIC.Counters()
+		for _, lh := range n.Host.LHs() {
+			if lh.System() {
+				continue
+			}
+			if lh.Guest() {
+				hs.Guests++
+			} else {
+				hs.Locals++
+			}
+		}
+		st.Hosts = append(st.Hosts, hs)
+	}
+	tx, rx := c.FSHost.NIC.Counters()
+	st.ServerFrames = tx + rx
+	return st
+}

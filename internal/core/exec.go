@@ -1,0 +1,310 @@
+package core
+
+import (
+	"errors"
+	"strings"
+
+	"vsystem/internal/kernel"
+	"vsystem/internal/params"
+	"vsystem/internal/progmgr"
+	"vsystem/internal/vid"
+)
+
+// HostSel identifies a selected execution host.
+type HostSel struct {
+	PM       vid.PID
+	SystemLH vid.LHID
+	MemFree  uint32
+}
+
+// MAC returns the selected host's station address (derived from the
+// system logical-host id, whose high byte is the host index + 1).
+func (s HostSel) MAC() uint16 { return uint16(s.SystemLH >> 8) }
+
+// ErrNoHost means no workstation answered a selection query.
+var ErrNoHost = errors.New("core: no host available")
+
+// SelectHost picks an idle workstation by multicasting to the
+// program-manager group and taking the first response — the paper's
+// decentralized scheduler ("it simply selects the program manager that
+// responds first since that is generally the least loaded host", §2.1).
+// exclude suppresses the caller's own host (pass 0 to allow any).
+func SelectHost(ctx *kernel.ProcCtx, minMem uint32, exclude vid.LHID) (HostSel, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		m, err := ctx.Send(vid.GroupProgramManagers, vid.Message{
+			Op: progmgr.PmSelectHost,
+			W:  [6]uint32{minMem, uint32(exclude)},
+		})
+		if err == nil && m.OK() {
+			return HostSel{
+				PM:       vid.PID(m.W[5]),
+				SystemLH: vid.LHID(m.W[0]),
+				MemFree:  m.W[1],
+			}, nil
+		}
+	}
+	return HostSel{}, ErrNoHost
+}
+
+// FindHost resolves a workstation by name through the program-manager
+// group (the `@ machine-name` form).
+func FindHost(ctx *kernel.ProcCtx, name string) (HostSel, error) {
+	m, err := ctx.Send(vid.GroupProgramManagers, vid.Message{
+		Op:  progmgr.PmQueryHost,
+		Seg: []byte(name),
+	})
+	if err != nil || !m.OK() {
+		return HostSel{}, ErrNoHost
+	}
+	return HostSel{PM: vid.PID(m.W[5]), SystemLH: vid.LHID(m.W[0])}, nil
+}
+
+// Job is a handle to an executing program.
+type Job struct {
+	Name string
+	PID  vid.PID  // initial process
+	LHID vid.LHID // the program's logical host (stable across migration)
+	PM   vid.PID  // program manager currently responsible
+	Host string   // where it started (diagnostic)
+}
+
+// ExecMinMem is the default free-memory requirement used for `@ *`
+// selection when the image size is not yet known.
+const ExecMinMem = 256 * 1024
+
+// Exec runs a program, paralleling the command-interpreter syntax:
+// where is "" (local), "*" (any idle machine), or a host name.
+//
+// The sequence follows §2.1: select a program manager, send it the
+// program-creation request (it builds the address space, loads the image
+// from the file server, initializes arguments, environment, and default
+// I/O), then start the program by "replying to its initial process" — a
+// start operation to the kernel server addressed through the new logical
+// host.
+func (a *Agent) Exec(prog string, args []string, where string) (*Job, error) {
+	ctx := a.ctx
+	var sel HostSel
+	var err error
+	switch where {
+	case "", "local":
+		sel = HostSel{
+			PM:       a.node.PM.PID(),
+			SystemLH: a.node.Host.SystemLH().ID(),
+		}
+	case "*":
+		// "some other lightly loaded machine" (§4.3): exclude the home
+		// workstation.
+		sel, err = SelectHost(ctx, ExecMinMem, a.node.Host.SystemLH().ID())
+	default:
+		sel, err = FindHost(ctx, where)
+	}
+	if err != nil {
+		return nil, err
+	}
+	guest := uint32(0)
+	if sel.SystemLH != a.node.Host.SystemLH().ID() {
+		guest = 1
+	}
+	seg := []byte(strings.Join(append([]string{prog}, args...), "\x00"))
+	m, err := ctx.Send(sel.PM, vid.Message{
+		Op:  progmgr.PmCreateProgram,
+		W:   [6]uint32{uint32(a.node.Display.PID()), guest},
+		Seg: seg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !m.OK() {
+		return nil, m.Err()
+	}
+	job := &Job{
+		Name: prog,
+		PID:  vid.PID(m.W[0]),
+		LHID: vid.LHID(m.W[1]),
+		PM:   sel.PM,
+		Host: whereName(a, sel),
+	}
+	// Start the program: the creator's go-ahead to the initial process,
+	// via the kernel server reachable through the program's logical host.
+	sm, err := ctx.Send(kernel.KernelServerPID(job.LHID), vid.Message{
+		Op: kernel.KsStartProcess,
+		W:  [6]uint32{uint32(job.PID)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !sm.OK() {
+		return nil, sm.Err()
+	}
+	return job, nil
+}
+
+func whereName(a *Agent, sel HostSel) string {
+	if n := a.node.cluster.NodeByLH(sel.SystemLH); n != nil {
+		return n.Name()
+	}
+	return "?"
+}
+
+// Wait blocks until the job exits, following the program across
+// migrations (a manager that migrated the program away answers with
+// CodeMoved and the new manager's pid).
+func (a *Agent) Wait(job *Job) (uint32, error) {
+	for {
+		m, err := a.ctx.Send(job.PM, vid.Message{
+			Op: progmgr.PmWaitProgram,
+			W:  [6]uint32{uint32(job.LHID)},
+		})
+		if err != nil {
+			return 0, err
+		}
+		if m.Code == progmgr.CodeMoved {
+			job.PM = vid.PID(m.W[1])
+			continue
+		}
+		if !m.OK() {
+			return 0, m.Err()
+		}
+		return m.W[0], nil
+	}
+}
+
+// Migrate asks the job's current program manager to move it elsewhere
+// (`migrateprog`). kill corresponds to the -n flag: destroy the program if
+// no host will take it. On success the job's manager is updated from the
+// report.
+func (a *Agent) Migrate(job *Job, kill bool) (*MigrationReport, error) {
+	w1 := uint32(0)
+	if kill {
+		w1 = 1
+	}
+	m, err := a.ctx.Send(job.PM, vid.Message{
+		Op: progmgr.PmMigrateProgram,
+		W:  [6]uint32{uint32(job.LHID), w1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !m.OK() {
+		return nil, m.Err()
+	}
+	if len(m.Seg) == 0 {
+		return nil, nil // destroyed (-n with no host)
+	}
+	rep, err := DecodeReport(m.Seg)
+	if err != nil {
+		return nil, err
+	}
+	job.PM = rep.NewPM
+	return rep, nil
+}
+
+// MigrateAll asks a node's program manager to remove all guest programs
+// (`migrateprog` with no argument, the owner-returns operation).
+func (a *Agent) MigrateAll(n *Node, kill bool) error {
+	w1 := uint32(0)
+	if kill {
+		w1 = 1
+	}
+	m, err := a.ctx.Send(n.PM.PID(), vid.Message{
+		Op: progmgr.PmMigrateProgram,
+		W:  [6]uint32{0, w1},
+	})
+	if err != nil {
+		return err
+	}
+	return m.Err()
+}
+
+// PS returns the program listing of a node.
+func (a *Agent) PS(n *Node) (string, error) {
+	m, err := a.ctx.Send(n.PM.PID(), vid.Message{Op: progmgr.PmQueryPrograms})
+	if err != nil {
+		return "", err
+	}
+	return m.SegString(), nil
+}
+
+// MinMemFor computes the selection memory requirement for a program of
+// the given space size.
+func MinMemFor(spaceSize uint32) uint32 {
+	if spaceSize < params.PageSize {
+		return params.PageSize
+	}
+	return spaceSize
+}
+
+// Select performs one decentralized host-selection query (experiments).
+func (a *Agent) Select(minMem uint32) (HostSel, error) {
+	return SelectHost(a.ctx, minMem, a.node.Host.SystemLH().ID())
+}
+
+// CreateProgram sets up an execution environment on the selected host
+// without starting the program (the experiment harness uses this to
+// separate environment setup/teardown cost from execution).
+func (a *Agent) CreateProgram(sel HostSel, prog string, args []string) (*Job, error) {
+	guest := uint32(0)
+	if sel.SystemLH != a.node.Host.SystemLH().ID() {
+		guest = 1
+	}
+	m, err := a.ctx.Send(sel.PM, vid.Message{
+		Op:  progmgr.PmCreateProgram,
+		W:   [6]uint32{uint32(a.node.Display.PID()), guest},
+		Seg: []byte(strings.Join(append([]string{prog}, args...), "\x00")),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !m.OK() {
+		return nil, m.Err()
+	}
+	return &Job{Name: prog, PID: vid.PID(m.W[0]), LHID: vid.LHID(m.W[1]), PM: sel.PM}, nil
+}
+
+// DestroyProgram tears a program down through its manager.
+func (a *Agent) DestroyProgram(job *Job) error {
+	m, err := a.ctx.Send(job.PM, vid.Message{
+		Op: progmgr.PmDestroyProgram,
+		W:  [6]uint32{uint32(job.LHID)},
+	})
+	if err != nil {
+		return err
+	}
+	return m.Err()
+}
+
+// Suspend freezes a running program wherever it is — suspension is
+// transparent to location (§2).
+func (a *Agent) Suspend(job *Job) error {
+	m, err := a.ctx.Send(job.PM, vid.Message{Op: progmgr.PmSuspendProgram, W: [6]uint32{uint32(job.LHID)}})
+	if err != nil {
+		return err
+	}
+	return m.Err()
+}
+
+// Resume unfreezes a suspended program.
+func (a *Agent) Resume(job *Job) error {
+	m, err := a.ctx.Send(job.PM, vid.Message{Op: progmgr.PmResumeProgram, W: [6]uint32{uint32(job.LHID)}})
+	if err != nil {
+		return err
+	}
+	return m.Err()
+}
+
+// Inspect reads a process's registers through the kernel server of its
+// logical host — the V debugger's remote-transparent primitive (§6). It
+// works wherever the program currently runs.
+func (a *Agent) Inspect(pid vid.PID) (kernel.Regs, uint32, error) {
+	m, err := a.ctx.Send(kernel.KernelServerPID(pid.LH()), vid.Message{
+		Op: kernel.KsQueryProcess, W: [6]uint32{uint32(pid)},
+	})
+	if err != nil {
+		return kernel.Regs{}, 0, err
+	}
+	if !m.OK() {
+		return kernel.Regs{}, 0, m.Err()
+	}
+	regs, err := kernel.DecodeRegs(m.Seg)
+	return regs, m.W[0], err
+}

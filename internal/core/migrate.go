@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/kernel"
+	"vsystem/internal/mem"
+	"vsystem/internal/params"
+	"vsystem/internal/progmgr"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Policy selects the migration mechanism.
+type Policy int
+
+const (
+	// PolicyPrecopy is the paper's design (§3.1): iteratively copy the
+	// address spaces while the program runs, freeze only for the residue.
+	PolicyPrecopy Policy = iota
+	// PolicyStopCopy is the naive comparator the paper argues against:
+	// freeze first, then copy everything ("frozen for over 6 seconds" for
+	// a 2 MB host, §3.1).
+	PolicyStopCopy
+	// PolicyFlush is the §3.2 virtual-memory variant: flush pages to the
+	// network file server, move kernel state only, and demand-fault pages
+	// in on the new host.
+	PolicyFlush
+	// PolicyForwarding is PolicyPrecopy but with Demos/MP-style
+	// forwarding addresses instead of rebinding (§5): the old host keeps
+	// a forwarding entry and no new binding is broadcast.
+	PolicyForwarding
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyPrecopy:
+		return "precopy"
+	case PolicyStopCopy:
+		return "stop-and-copy"
+	case PolicyFlush:
+		return "vm-flush"
+	case PolicyForwarding:
+		return "forwarding"
+	}
+	return "?"
+}
+
+// RoundStat describes one pre-copy (or flush) round.
+type RoundStat struct {
+	Pages int
+	KB    float64
+	Dur   time.Duration
+}
+
+// MigrationReport is returned to the migrateprog requester and consumed by
+// the experiment harness.
+type MigrationReport struct {
+	Policy      string
+	Rounds      []RoundStat
+	ResidualKB  float64       // copied while frozen
+	FreezeTime  time.Duration // freeze → unfreeze acknowledged
+	KernelItems int           // processes + address spaces
+	KernelTime  time.Duration // kernel/program-manager state copy
+	Total       time.Duration
+	BytesCopied int64
+	DestHost    vid.LHID // target's system logical host
+	NewPM       vid.PID
+}
+
+// Encode serializes the report.
+func (r *MigrationReport) Encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// DecodeReport parses a MigrationReport.
+func DecodeReport(b []byte) (*MigrationReport, error) {
+	var r MigrationReport
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ErrMigrationFailed wraps a failed migration attempt.
+var ErrMigrationFailed = errors.New("core: migration failed")
+
+// Migrator implements progmgr.Migrator: the sending side of migration,
+// running on the source host's migration worker at system priority
+// ("higher priority than all other programs on the originating host",
+// §3.1.2; the per-packet work runs at kernel priority).
+type Migrator struct {
+	Policy  Policy
+	Cluster *Cluster
+
+	// Reports collects every migration this engine performed.
+	Reports []*MigrationReport
+
+	// freezeStart records when the in-flight migration froze the logical
+	// host (migrations are serialized by the program manager's worker).
+	freezeStart sim.Time
+}
+
+var _ progmgr.Migrator = (*Migrator)(nil)
+
+// Migrate moves lh to another workstation per §3.1:
+//
+//  1. locate a willing host via the program-manager group;
+//  2. initialize descriptors for the new copy under a different LHID;
+//  3. pre-copy the address-space state (policy-dependent);
+//  4. freeze, copy the residue and the kernel/program-manager state;
+//  5. change the new copy's LHID to the original, unfreeze it (broadcasting
+//     the new binding), delete the old copy.
+func (mg *Migrator) Migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost) ([]byte, vid.PID, error) {
+	rep, err := mg.migrate(ctx, pm, lh)
+	if err != nil {
+		return nil, vid.Nil, err
+	}
+	mg.Reports = append(mg.Reports, rep)
+	return rep.Encode(), rep.NewPM, nil
+}
+
+func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost) (*MigrationReport, error) {
+	host := pm.Host()
+	start := ctx.Now()
+	rep := &MigrationReport{Policy: mg.Policy.String()}
+
+	// 1. Locate a new host, excluding ourselves.
+	sel, err := SelectHost(ctx, lh.MemUsed()+64*1024, host.SystemLH().ID())
+	if err != nil {
+		return nil, ErrMigrationFailed
+	}
+	rep.DestHost = sel.SystemLH
+
+	// 2. Initialize the new copy's descriptors under a different LHID.
+	var descs []kernel.SpaceDesc
+	for _, as := range lh.Spaces() {
+		descs = append(descs, kernel.SpaceDesc{ID: as.ID, Size: as.Size()})
+	}
+	initRep, err := ctx.Send(sel.PM, vid.Message{
+		Op: progmgr.PmInitMigration,
+		Seg: progmgr.EncodeInitReq(&progmgr.InitReq{
+			Name:    lh.Name(),
+			Guest:   lh.Guest(),
+			FinalLH: lh.ID(),
+			Spaces:  descs,
+		}),
+	})
+	if err != nil || !initRep.OK() {
+		return nil, ErrMigrationFailed
+	}
+	tempLH := vid.LHID(initRep.W[0])
+	targetKS := kernel.KernelServerPID(vid.LHID(initRep.W[1]))
+	rep.NewPM = vid.PID(initRep.W[5])
+
+	fail := func() (*MigrationReport, error) {
+		// Copy failed: assume the new host is gone, unfreeze the old copy
+		// to avoid timeouts, give up (§3.1.3: "in our current
+		// implementation, we simply give up").
+		host.Unfreeze(lh, false)
+		return nil, ErrMigrationFailed
+	}
+
+	// 3+4. Copy address-space state per policy, ending frozen.
+	switch mg.Policy {
+	case PolicyPrecopy, PolicyForwarding:
+		if err := mg.precopy(ctx, host, lh, tempLH, targetKS, rep); err != nil {
+			return fail()
+		}
+	case PolicyStopCopy:
+		host.Freeze(lh)
+		mg.freezeStart = ctx.Now()
+		var all []spacePages
+		for _, as := range lh.Spaces() {
+			as.ClearDirty()
+			all = append(all, spacePages{as, as.AllPages()})
+		}
+		kb, err := mg.copyRuns(ctx, tempLH, targetKS, all, rep)
+		if err != nil {
+			return fail()
+		}
+		rep.ResidualKB = kb
+		rep.Rounds = append(rep.Rounds, RoundStat{Pages: int(kb), KB: kb, Dur: ctx.Now().Sub(mg.freezeStart)})
+	case PolicyFlush:
+		if err := mg.flushOut(ctx, pm, lh, rep); err != nil {
+			return fail()
+		}
+	default:
+		return nil, ErrMigrationFailed
+	}
+
+	// The logical host is now frozen. Copy kernel server + program
+	// manager state: the source charges its share of the measured cost,
+	// the target's kernel server charges the rest when installing.
+	kStart := ctx.Now()
+	st := host.SnapshotKernelState(lh)
+	rep.KernelItems = st.Items()
+	ctx.Compute(params.KernelStateBaseCPU/2 + time.Duration(st.Items())*params.KernelStatePerItemCPU/2)
+	m, err := ctx.Send(targetKS, vid.Message{
+		Op: kernel.KsSetState, W: [6]uint32{uint32(tempLH)}, Seg: st.Encode(),
+	})
+	if err != nil || !m.OK() {
+		return fail()
+	}
+	// Assume the original identity.
+	m, err = ctx.Send(targetKS, vid.Message{
+		Op: kernel.KsChangeLHID, W: [6]uint32{uint32(tempLH), uint32(lh.ID())},
+	})
+	if err != nil || !m.OK() {
+		return fail()
+	}
+	rep.KernelTime = ctx.Now().Sub(kStart)
+	if mg.Policy == PolicyFlush {
+		// Configure demand paging on the new copy before it runs.
+		mg.installPager(lh.ID(), sel.SystemLH)
+	}
+
+	// 5. Unfreeze the new copy (broadcasting the binding unless running
+	// the forwarding comparator), delete the old copy, notify the new
+	// manager.
+	broadcast := uint32(1)
+	if mg.Policy == PolicyForwarding {
+		broadcast = 0
+	}
+	m, err = ctx.Send(targetKS, vid.Message{
+		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(lh.ID()), broadcast},
+	})
+	if err != nil || !m.OK() {
+		return fail()
+	}
+	rep.FreezeTime = ctx.Now().Sub(mg.freezeStart)
+	if mg.Policy == PolicyForwarding {
+		// Demos/MP comparator: leave a forwarding address on this host.
+		host.IPC.SetForward(lh.ID(), targetMAC(sel))
+	}
+	lhid := lh.ID()
+	host.DestroyLH(lh)
+	ctx.Send(rep.NewPM, vid.Message{
+		Op: progmgr.PmAssumeMigration, W: [6]uint32{uint32(lhid)},
+	})
+	rep.Total = ctx.Now().Sub(start)
+	return rep, nil
+}
+
+type spacePages struct {
+	as    *mem.AddressSpace
+	pages []mem.PageNo
+}
+
+func kbOf(sp []spacePages) float64 {
+	n := 0
+	for _, s := range sp {
+		n += len(s.pages)
+	}
+	return float64(n) * mem.PageSize / 1024
+}
+
+// precopy implements §3.1.2: an initial copy of the complete address
+// spaces followed by repeated copies of the pages modified during the
+// previous copy, until the dirty residue is small or stops shrinking; the
+// logical host is then frozen and the residue copied.
+func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.LogicalHost,
+	tempLH vid.LHID, targetKS vid.PID, rep *MigrationReport) error {
+
+	// Round 0 copies everything; dirty tracking starts now. Building the
+	// page list and clearing dirty bits is atomic (no blocking between).
+	var pending []spacePages
+	for _, as := range lh.Spaces() {
+		as.ClearDirty()
+		pending = append(pending, spacePages{as, as.AllPages()})
+	}
+
+	for round := 0; ; round++ {
+		roundStart := ctx.Now()
+		if _, err := mg.copyRuns(ctx, tempLH, targetKS, pending, rep); err != nil {
+			return err
+		}
+		dur := ctx.Now().Sub(roundStart)
+		rep.Rounds = append(rep.Rounds, RoundStat{
+			Pages: pageCount(pending), KB: kbOf(pending), Dur: dur,
+		})
+
+		// Pages dirtied during this round (snapshot clears the bits; the
+		// freeze decision below happens atomically with the snapshot).
+		var dirty []spacePages
+		for _, as := range lh.Spaces() {
+			dirty = append(dirty, spacePages{as, as.SnapshotDirty()})
+		}
+		dirtyKB := kbOf(dirty)
+		stop := dirtyKB <= params.PrecopyStopKB ||
+			round+1 >= params.PrecopyMaxRounds ||
+			dirtyKB > kbOf(pending)*params.PrecopyMinShrink
+		if stop {
+			host.Freeze(lh)
+			mg.freezeStart = ctx.Now()
+			rep.ResidualKB = dirtyKB
+			_, err := mg.copyRuns(ctx, tempLH, targetKS, dirty, rep)
+			return err
+		}
+		pending = dirty
+	}
+}
+
+func pageCount(sp []spacePages) int {
+	n := 0
+	for _, s := range sp {
+		n += len(s.pages)
+	}
+	return n
+}
+
+// copyRuns transfers the given pages to the new copy in MaxRunPages
+// batches through the target's kernel server.
+func (mg *Migrator) copyRuns(ctx *kernel.ProcCtx, tempLH vid.LHID, targetKS vid.PID,
+	sp []spacePages, rep *MigrationReport) (float64, error) {
+
+	var kb float64
+	for _, s := range sp {
+		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
+			end := off + kernel.MaxRunPages
+			if end > len(s.pages) {
+				end = len(s.pages)
+			}
+			batch := s.pages[off:end]
+			data := make([][]byte, len(batch))
+			for i, pn := range batch {
+				data[i] = s.as.Page(pn)
+			}
+			m, err := ctx.Send(targetKS, vid.Message{
+				Op:  kernel.KsWritePages,
+				W:   [6]uint32{uint32(tempLH)},
+				Seg: kernel.EncodePageRun(s.as.ID, batch, data),
+			})
+			if err != nil || !m.OK() {
+				return kb, ErrMigrationFailed
+			}
+			kb += float64(len(batch)) * mem.PageSize / 1024
+			rep.BytesCopied += int64(len(batch)) * mem.PageSize
+		}
+	}
+	return kb, nil
+}
+
+func targetMAC(sel HostSel) ethernet.MAC { return ethernet.MAC(sel.SystemLH >> 8) }

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"vsystem/internal/fileserver"
+	"vsystem/internal/kernel"
+	"vsystem/internal/mem"
+	"vsystem/internal/params"
+	"vsystem/internal/progmgr"
+	"vsystem/internal/vid"
+)
+
+// PagerStats counts demand-paging activity for a flush-migrated program
+// (§3.2). Pages that were dirty on the original host and then referenced
+// on the new host cross the network twice — the variant's stated cost.
+type PagerStats struct {
+	Faults  int
+	FaultKB float64
+}
+
+// flushOut is the source side of the §3.2 variant: instead of copying the
+// address spaces to the new host, modified pages are flushed to the
+// network file server (iteratively, like pre-copy), the logical host is
+// frozen, and the residue flushed. The new host faults pages in from the
+// file server on demand.
+func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost,
+	rep *MigrationReport) error {
+
+	fs := mg.fileServerPID()
+	prefix := fmt.Sprintf("pg/%04x", uint16(lh.ID()))
+
+	var pending []spacePages
+	for _, as := range lh.Spaces() {
+		as.ClearDirty()
+		pending = append(pending, spacePages{as, as.AllPages()})
+	}
+	for round := 0; ; round++ {
+		roundStart := ctx.Now()
+		if err := mg.flushPages(ctx, fs, prefix, pending, rep); err != nil {
+			return err
+		}
+		rep.Rounds = append(rep.Rounds, RoundStat{
+			Pages: pageCount(pending), KB: kbOf(pending), Dur: ctx.Now().Sub(roundStart),
+		})
+		var dirty []spacePages
+		for _, as := range lh.Spaces() {
+			dirty = append(dirty, spacePages{as, as.SnapshotDirty()})
+		}
+		dirtyKB := kbOf(dirty)
+		if dirtyKB <= params.PrecopyStopKB ||
+			round+1 >= params.PrecopyMaxRounds ||
+			dirtyKB > kbOf(pending)*params.PrecopyMinShrink {
+			pm.Host().Freeze(lh)
+			mg.freezeStart = ctx.Now()
+			rep.ResidualKB = dirtyKB
+			return mg.flushPages(ctx, fs, prefix, dirty, rep)
+		}
+		pending = dirty
+	}
+}
+
+// flushPages writes pages to the file server's paging store in page-run
+// batches (V moved up to 32 KB as a unit, §3.1; a paging server would
+// batch writes the same way).
+func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, fs vid.PID, prefix string,
+	sp []spacePages, rep *MigrationReport) error {
+
+	for _, s := range sp {
+		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
+			end := off + kernel.MaxRunPages
+			if end > len(s.pages) {
+				end = len(s.pages)
+			}
+			batch := s.pages[off:end]
+			data := make([][]byte, len(batch))
+			for i, pn := range batch {
+				data[i] = s.as.Page(pn)
+			}
+			seg := append([]byte(prefix), 0)
+			seg = append(seg, kernel.EncodePageRun(s.as.ID, batch, data)...)
+			m, err := ctx.Send(fs, vid.Message{Op: fileserver.OpPageOutRun, Seg: seg})
+			if err != nil || !m.OK() {
+				return ErrMigrationFailed
+			}
+			rep.BytesCopied += int64(len(batch)) * mem.PageSize
+		}
+	}
+	return nil
+}
+
+func pageKey(prefix string, space uint32, pn mem.PageNo) string {
+	return fmt.Sprintf("%s/%d/%d", prefix, space, pn)
+}
+
+// fileServerPID resolves the cluster's file server (in V this binding
+// comes from the program's name cache; the simulation resolves it through
+// the cluster facade).
+func (mg *Migrator) fileServerPID() vid.PID { return mg.Cluster.FS.PID() }
+
+// installPager configures demand paging on the new copy's (empty) address
+// spaces: the first access to a missing page pulls it from the file
+// server, blocking the faulting process for the fetch. Installed between
+// the identity change and the unfreeze.
+func (mg *Migrator) installPager(lhid vid.LHID, destSys vid.LHID) {
+	node := mg.Cluster.NodeByLH(destSys)
+	if node == nil {
+		return
+	}
+	lh, ok := node.Host.LookupLH(lhid)
+	if !ok {
+		return
+	}
+	fs := mg.fileServerPID()
+	prefix := fmt.Sprintf("pg/%04x", uint16(lhid))
+	stats := &PagerStats{}
+	mg.Cluster.registerPager(lhid, stats)
+	for _, as := range lh.Spaces() {
+		as := as
+		as.SetFault(func(pn mem.PageNo) []byte {
+			t := node.Host.Eng.Current()
+			if t == nil {
+				return nil // non-task access (diagnostics): treat as zero
+			}
+			port := node.Host.IPC.NewPort(node.pagerPID())
+			defer port.Close()
+			m, err := port.Send(t, fs, vid.Message{
+				Op:  fileserver.OpPageIn,
+				Seg: []byte(pageKey(prefix, as.ID, pn)),
+			})
+			stats.Faults++
+			stats.FaultKB += float64(mem.PageSize) / 1024
+			if err != nil || !m.OK() {
+				return nil // never flushed: a zero (hole) page
+			}
+			return m.Seg
+		})
+	}
+}
+
+// pagerPID allocates a unique port id for one page-fault transaction.
+func (n *Node) pagerPID() vid.PID {
+	n.pagerSeq++
+	return vid.NewPID(n.Host.SystemLH().ID(), 0xF000+n.pagerSeq%0x0FF0)
+}
+
+// registerPager records a pager's stats for the experiment harness.
+func (c *Cluster) registerPager(lhid vid.LHID, st *PagerStats) {
+	if c.pagers == nil {
+		c.pagers = make(map[vid.LHID]*PagerStats)
+	}
+	c.pagers[lhid] = st
+}
+
+// PagerStatsFor returns demand-paging stats for a flush-migrated program.
+func (c *Cluster) PagerStatsFor(lhid vid.LHID) *PagerStats { return c.pagers[lhid] }

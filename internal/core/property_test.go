@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"vsystem/internal/progs"
+	"vsystem/internal/workload"
+)
+
+// TestQuickMigrationTransparency is the repository's headline property,
+// checked over randomized schedules: for any number of migrations (0-3),
+// at any times, under any policy, with or without packet loss, a program
+// produces exactly the same output as an unmigrated run.
+func TestQuickMigrationTransparency(t *testing.T) {
+	type schedule struct {
+		policy Policy
+		times  []time.Duration
+		loss   float64
+	}
+	run := func(s schedule, seed int64) string {
+		c := NewCluster(Options{Workstations: 4, Seed: seed, Policy: s.policy, LossRate: s.loss})
+		c.Install(progs.Ticker(120))
+		var failure error
+		c.Node(0).Agent(func(a *Agent) {
+			job, err := a.Exec("ticker120", nil, "ws1")
+			if err != nil {
+				failure = err
+				return
+			}
+			prev := time.Duration(0)
+			for _, at := range s.times {
+				if at > prev {
+					a.Sleep(at - prev)
+					prev = at
+				}
+				if _, err := a.Migrate(job, false); err != nil {
+					failure = err
+					return
+				}
+			}
+			if _, err := a.Wait(job); err != nil {
+				failure = err
+			}
+		})
+		c.Run(10 * time.Minute)
+		if failure != nil {
+			t.Fatalf("schedule %+v: %v", s, failure)
+		}
+		return strings.Join(c.Node(0).Display.Lines(), "|")
+	}
+
+	baseline := run(schedule{policy: PolicyPrecopy}, 100)
+	if !strings.HasSuffix(baseline, "t120") || strings.Count(baseline, "|") != 119 {
+		t.Fatalf("bad baseline %q...", baseline[:40])
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	policies := []Policy{PolicyPrecopy, PolicyStopCopy, PolicyFlush}
+	for trial := 0; trial < 6; trial++ {
+		s := schedule{policy: policies[rng.Intn(len(policies))]}
+		n := rng.Intn(3) + 1
+		at := time.Duration(0)
+		for i := 0; i < n; i++ {
+			at += time.Duration(300+rng.Intn(1200)) * time.Millisecond
+			s.times = append(s.times, at)
+		}
+		if rng.Intn(2) == 0 {
+			s.loss = 0.02
+		}
+		got := run(s, 100)
+		if got != baseline {
+			t.Fatalf("trial %d (%+v): output diverged from baseline", trial, s)
+		}
+	}
+}
+
+// TestClusterSurvivesLossStress runs a busy cluster under 5% frame loss:
+// several programs execute remotely and migrate while the network drops
+// frames; every program must finish and no output may be duplicated.
+func TestClusterSurvivesLossStress(t *testing.T) {
+	c := NewCluster(Options{Workstations: 6, Seed: 77, LossRate: 0.05})
+	c.Install(progs.Ticker(60))
+	c.Install(progs.Primes(500))
+	for _, img := range workload.PaperImages() {
+		c.Install(img)
+	}
+
+	finished := 0
+	var firstErr error
+	for i := 0; i < 4; i++ {
+		i := i
+		c.Node(i % 2).Agent(func(a *Agent) {
+			prog := "ticker60"
+			if i%2 == 1 {
+				prog = "primes500"
+			}
+			job, err := a.Exec(prog, nil, "*")
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if i == 0 {
+				a.Sleep(700 * time.Millisecond)
+				if _, err := a.Migrate(job, false); err != nil {
+					firstErr = err
+					return
+				}
+			}
+			if _, err := a.Wait(job); err != nil {
+				firstErr = err
+				return
+			}
+			finished++
+		})
+	}
+	c.Run(15 * time.Minute)
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	if finished != 4 {
+		t.Fatalf("finished %d/4 under loss", finished)
+	}
+	// Output sanity: ticker lines on each home display are strictly
+	// increasing without duplicates (exactly-once display writes).
+	for nodeIdx := 0; nodeIdx < 2; nodeIdx++ {
+		seen := map[string]int{}
+		for _, l := range c.Node(nodeIdx).Display.Lines() {
+			seen[l]++
+		}
+		for l, n := range seen {
+			if strings.HasPrefix(l, "t") && n > 2 {
+				// Two ticker60 instances may share a display (two jobs from
+				// the same node), so a line may appear at most twice.
+				t.Fatalf("line %q appeared %d times on ws%d", l, n, nodeIdx)
+			}
+		}
+	}
+	if c.Bus.Stats().Dropped == 0 {
+		t.Fatal("loss model inactive — stress test vacuous")
+	}
+}
+
+// TestMigrationChainAcrossAllHosts pushes one program around the whole
+// cluster: each idle host takes it in turn, and it still completes with
+// correct output.
+func TestMigrationChainAcrossAllHosts(t *testing.T) {
+	c := NewCluster(Options{Workstations: 5, Seed: 5})
+	c.Install(progs.Ticker(200))
+	visited := map[string]bool{}
+	var failure error
+	c.Node(0).Agent(func(a *Agent) {
+		job, err := a.Exec("ticker200", nil, "ws1")
+		if err != nil {
+			failure = err
+			return
+		}
+		visited[job.Host] = true
+		for i := 0; i < 5; i++ {
+			a.Sleep(600 * time.Millisecond)
+			rep, err := a.Migrate(job, false)
+			if err != nil {
+				failure = err
+				return
+			}
+			if n := c.NodeByLH(rep.DestHost); n != nil {
+				visited[n.Name()] = true
+			}
+		}
+		if _, err := a.Wait(job); err != nil {
+			failure = err
+		}
+	})
+	c.Run(10 * time.Minute)
+	if failure != nil {
+		t.Fatal(failure)
+	}
+	lines := c.Node(0).Display.Lines()
+	if len(lines) != 200 || lines[199] != "t200" {
+		t.Fatalf("%d lines, last %q", len(lines), lines[len(lines)-1])
+	}
+	if len(visited) < 3 {
+		t.Fatalf("program visited only %d hosts: %v", len(visited), visited)
+	}
+}

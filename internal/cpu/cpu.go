@@ -1,0 +1,201 @@
+// Package cpu models a workstation processor with preemptive priority
+// scheduling at quantum granularity.
+//
+// Priority levels come from params: kernel work preempts system servers,
+// which preempt locally invoked programs, which preempt guest (remotely
+// executed) programs — the paper's "priority scheduling for locally invoked
+// programs" (§2) that lets an owner use a workstation while it serves as a
+// computation server. The migration pre-copy runs at system priority,
+// "higher priority than all other programs on the originating host"
+// (§3.1.2).
+package cpu
+
+import (
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+)
+
+// Gate is an optional runnability predicate attached to a CPU request; a
+// request whose gate returns false is skipped by the scheduler (used to
+// stop scheduling processes of a frozen logical host).
+type Gate func() bool
+
+type request struct {
+	task      *sim.Task
+	prio      int
+	remaining time.Duration
+	gate      Gate
+	done      sim.WaitQ
+	finished  bool
+}
+
+func (r *request) runnable() bool {
+	if r.task != nil && (r.task.Killed() || r.task.Done()) {
+		return false
+	}
+	return r.gate == nil || r.gate()
+}
+
+// CPU is one workstation's processor.
+type CPU struct {
+	eng      *sim.Engine
+	quantum  time.Duration
+	ready    [params.NumPrios][]*request
+	cur      *request
+	granting bool // a deferred grant event is pending
+	busy     [params.NumPrios]time.Duration
+	total    time.Duration
+	started  sim.Time
+}
+
+// New creates an idle CPU on the engine.
+func New(eng *sim.Engine) *CPU {
+	return &CPU{eng: eng, quantum: params.CPUQuantum, started: eng.Now()}
+}
+
+// Use consumes d of CPU at the given priority, blocking the task until the
+// time has been granted. Competing requests interleave at quantum
+// granularity; higher priorities preempt at quantum boundaries.
+func (c *CPU) Use(t *sim.Task, d time.Duration, prio int) {
+	c.UseGated(t, d, prio, nil)
+}
+
+// UseGated is Use with a runnability gate: while gate() is false the
+// request is present but unschedulable (a frozen process). Callers must
+// Kick the CPU when a gate may have opened.
+func (c *CPU) UseGated(t *sim.Task, d time.Duration, prio int, gate Gate) {
+	if d <= 0 {
+		return
+	}
+	if prio < 0 || prio >= params.NumPrios {
+		panic("cpu: bad priority")
+	}
+	r := &request{task: t, prio: prio, remaining: d, gate: gate}
+	c.ready[prio] = append(c.ready[prio], r)
+	c.Kick()
+	for !r.finished {
+		r.done.Wait(t)
+	}
+}
+
+// Kick re-evaluates scheduling; call after a gate may have opened.
+//
+// The grant is deferred by one (zero-delay) event rather than performed
+// inline: when a process's CPU burst completes and it immediately issues
+// its next burst at the same instant (the normal compute/syscall/compute
+// pattern), the continuation competes in that grant instead of losing the
+// CPU to a lower-priority process for a quantum — matching a real kernel,
+// where the running process keeps the processor.
+func (c *CPU) Kick() {
+	if c.cur != nil || c.granting {
+		return
+	}
+	c.granting = true
+	c.eng.After(0, func() {
+		c.granting = false
+		if c.cur == nil {
+			c.grant()
+		}
+	})
+}
+
+// grant picks the best runnable request and runs one slice of it.
+func (c *CPU) grant() {
+	r := c.pick()
+	if r == nil {
+		return
+	}
+	c.cur = r
+	slice := c.quantum
+	if r.remaining < slice {
+		slice = r.remaining
+	}
+	c.eng.After(slice, func() {
+		c.busy[r.prio] += slice
+		c.total += slice
+		r.remaining -= slice
+		c.cur = nil
+		if r.remaining <= 0 {
+			r.finished = true
+			r.done.WakeOne()
+		} else if r.runnable() {
+			c.ready[r.prio] = append(c.ready[r.prio], r)
+		} else if r.task != nil && (r.task.Killed() || r.task.Done()) {
+			// Dead owner: drop the request.
+		} else {
+			// Gated shut mid-use (froze): park it at the head of its
+			// priority so it resumes first when unfrozen.
+			c.ready[r.prio] = append([]*request{r}, c.ready[r.prio]...)
+		}
+		c.Kick()
+	})
+}
+
+// pick removes and returns the first runnable request of the highest
+// non-empty priority, discarding requests whose tasks died.
+func (c *CPU) pick() *request {
+	for prio := 0; prio < params.NumPrios; prio++ {
+		q := c.ready[prio]
+		for i := 0; i < len(q); i++ {
+			r := q[i]
+			if r.task != nil && (r.task.Killed() || r.task.Done()) {
+				q = append(q[:i], q[i+1:]...)
+				i--
+				continue
+			}
+			if r.runnable() {
+				c.ready[prio] = append(q[:i], q[i+1:]...)
+				return r
+			}
+		}
+		c.ready[prio] = q
+	}
+	return nil
+}
+
+// QueueLen reports how many requests are pending at or below (numerically
+// at or above) the given priority, including the running one.
+func (c *CPU) QueueLen(prio int) int {
+	n := 0
+	for p := prio; p < params.NumPrios; p++ {
+		n += len(c.ready[p])
+	}
+	if c.cur != nil && c.cur.prio >= prio {
+		n++
+	}
+	return n
+}
+
+// Busy reports cumulative busy time at the given priority.
+func (c *CPU) Busy(prio int) time.Duration { return c.busy[prio] }
+
+// TotalBusy reports cumulative busy time across all priorities.
+func (c *CPU) TotalBusy() time.Duration { return c.total }
+
+// Utilization reports the busy fraction since the CPU was created.
+func (c *CPU) Utilization() float64 {
+	elapsed := c.eng.Now().Sub(c.started)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.total) / float64(elapsed)
+}
+
+// Idle reports whether nothing is running or runnable at program
+// priorities (local or guest) — the availability test a program manager
+// applies when answering a host-selection query.
+func (c *CPU) Idle() bool {
+	if c.cur != nil && c.cur.prio >= params.PrioLocal {
+		return false
+	}
+	for p := params.PrioLocal; p < params.NumPrios; p++ {
+		for _, r := range c.ready[p] {
+			if r.runnable() {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,248 @@
+package cpu
+
+import (
+	"testing"
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+)
+
+func TestSingleUse(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	var done sim.Time
+	e.Spawn("p", func(tk *sim.Task) {
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		done = tk.Now()
+	})
+	e.Run()
+	if done != sim.Time(10*time.Millisecond) {
+		t.Fatalf("done at %v, want 10ms", done)
+	}
+	if c.TotalBusy() != 10*time.Millisecond {
+		t.Fatalf("busy = %v", c.TotalBusy())
+	}
+}
+
+func TestEqualPrioritySharing(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	var aDone, bDone sim.Time
+	e.Spawn("a", func(tk *sim.Task) {
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		aDone = tk.Now()
+	})
+	e.Spawn("b", func(tk *sim.Task) {
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		bDone = tk.Now()
+	})
+	e.Run()
+	// Round-robin: both finish around 20ms, a one quantum before b.
+	if aDone != sim.Time(19*time.Millisecond) || bDone != sim.Time(20*time.Millisecond) {
+		t.Fatalf("aDone=%v bDone=%v, want 19ms/20ms", aDone, bDone)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	var guestDone, localDone sim.Time
+	e.Spawn("guest", func(tk *sim.Task) {
+		c.Use(tk, 20*time.Millisecond, params.PrioGuest)
+		guestDone = tk.Now()
+	})
+	e.Spawn("local", func(tk *sim.Task) {
+		tk.Sleep(5 * time.Millisecond)
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		localDone = tk.Now()
+	})
+	e.Run()
+	// Local arrives at 5ms, preempts at the quantum boundary, runs its
+	// 10ms, then guest resumes: local ≈15ms, guest ≈30ms.
+	if localDone != sim.Time(15*time.Millisecond) {
+		t.Fatalf("localDone = %v, want 15ms", localDone)
+	}
+	if guestDone != sim.Time(30*time.Millisecond) {
+		t.Fatalf("guestDone = %v, want 30ms", guestDone)
+	}
+}
+
+func TestGateBlocksScheduling(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	frozen := false
+	var done sim.Time
+	e.Spawn("p", func(tk *sim.Task) {
+		c.UseGated(tk, 10*time.Millisecond, params.PrioLocal, func() bool { return !frozen })
+		done = tk.Now()
+	})
+	// Freeze from 3ms to 23ms.
+	e.After(3*time.Millisecond, func() { frozen = true })
+	e.After(23*time.Millisecond, func() { frozen = false; c.Kick() })
+	e.Run()
+	// 3ms of work before the freeze, 7ms after: done ≈ 30ms.
+	if done != sim.Time(30*time.Millisecond) {
+		t.Fatalf("done = %v, want 30ms", done)
+	}
+}
+
+func TestKilledTaskRequestDropped(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	victim := e.Spawn("victim", func(tk *sim.Task) {
+		c.Use(tk, 100*time.Millisecond, params.PrioLocal)
+		t.Error("killed task finished CPU use")
+	})
+	var done sim.Time
+	e.Spawn("other", func(tk *sim.Task) {
+		tk.Sleep(time.Millisecond)
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		done = tk.Now()
+	})
+	e.After(5*time.Millisecond, func() { victim.Kill() })
+	e.Run()
+	// Victim consumed ~5ms then died; other should finish soon after
+	// ~1+interleave+10 ≈ 18-19ms, and crucially well before 100ms.
+	if done == 0 || done > sim.Time(25*time.Millisecond) {
+		t.Fatalf("other finished at %v", done)
+	}
+}
+
+func TestIdleDetection(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	if !c.Idle() {
+		t.Fatal("fresh CPU not idle")
+	}
+	e.Spawn("p", func(tk *sim.Task) {
+		c.Use(tk, 5*time.Millisecond, params.PrioGuest)
+	})
+	e.After(2*time.Millisecond, func() {
+		if c.Idle() {
+			t.Error("CPU with running guest reported idle")
+		}
+	})
+	e.Run()
+	if !c.Idle() {
+		t.Fatal("CPU not idle after work drained")
+	}
+	// Kernel-priority work does not count against idleness.
+	e.Spawn("netd", func(tk *sim.Task) {
+		c.Use(tk, 5*time.Millisecond, params.PrioKernel)
+	})
+	e.After(e.Now().Sub(0)+2*time.Millisecond, func() {})
+	ran := false
+	e.After(2*time.Millisecond, func() {
+		ran = true
+		if !c.Idle() {
+			t.Error("kernel work affected idleness")
+		}
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("probe did not run")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	e.Spawn("p", func(tk *sim.Task) {
+		c.Use(tk, 50*time.Millisecond, params.PrioLocal)
+	})
+	e.Run()
+	e.RunUntil(sim.Time(100 * time.Millisecond))
+	u := c.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("Utilization = %v, want ≈0.5", u)
+	}
+}
+
+func TestZeroUseReturnsImmediately(t *testing.T) {
+	e := sim.NewEngine(1)
+	c := New(e)
+	var done sim.Time
+	e.Spawn("p", func(tk *sim.Task) {
+		c.Use(tk, 0, params.PrioLocal)
+		done = tk.Now()
+	})
+	e.Run()
+	if done != 0 {
+		t.Fatalf("done = %v, want 0", done)
+	}
+}
+
+func TestFrozenRequestDoesNotBlockOthers(t *testing.T) {
+	// A request gated shut mid-use must not hold the CPU: another
+	// same-priority request runs to completion while it is frozen, and
+	// the frozen one finishes after the unfreeze.
+	e := sim.NewEngine(9)
+	c := New(e)
+	frozen := false
+	var victimDone, lateDone sim.Time
+	e.Spawn("victim", func(tk *sim.Task) {
+		c.UseGated(tk, 10*time.Millisecond, params.PrioLocal, func() bool { return !frozen })
+		victimDone = tk.Now()
+	})
+	e.After(3*time.Millisecond, func() { frozen = true })
+	e.Spawn("late", func(tk *sim.Task) {
+		tk.Sleep(5 * time.Millisecond)
+		c.Use(tk, 10*time.Millisecond, params.PrioLocal)
+		lateDone = tk.Now()
+	})
+	e.After(20*time.Millisecond, func() { frozen = false; c.Kick() })
+	e.Run()
+	if lateDone != sim.Time(15*time.Millisecond) {
+		t.Fatalf("late finished at %v, want 15ms (unblocked by frozen peer)", lateDone)
+	}
+	// Victim had ~3ms done, resumes at 20ms, needs ~7ms more.
+	if victimDone != sim.Time(27*time.Millisecond) {
+		t.Fatalf("victim finished at %v, want 27ms", victimDone)
+	}
+}
+
+func TestUnfrozenRequestBeatsSimultaneousArrival(t *testing.T) {
+	// At the unfreeze instant, the previously frozen request (parked at
+	// the head of its priority) is granted before a request arriving at
+	// the same moment.
+	e := sim.NewEngine(11)
+	c := New(e)
+	frozen := false
+	var order []string
+	e.Spawn("victim", func(tk *sim.Task) {
+		c.UseGated(tk, 6*time.Millisecond, params.PrioLocal, func() bool { return !frozen })
+		order = append(order, "victim")
+	})
+	e.After(3*time.Millisecond, func() { frozen = true })
+	// Unfreeze and a new arrival at the same instant; the unfreeze event
+	// is scheduled first.
+	e.After(20*time.Millisecond, func() { frozen = false; c.Kick() })
+	e.At(sim.Time(20*time.Millisecond), func() {
+		e.Spawn("late", func(tk *sim.Task) {
+			c.Use(tk, 6*time.Millisecond, params.PrioLocal)
+			order = append(order, "late")
+		})
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "victim" {
+		t.Fatalf("order = %v, want victim first", order)
+	}
+}
+
+func TestQueueLenAccounting(t *testing.T) {
+	e := sim.NewEngine(10)
+	c := New(e)
+	for i := 0; i < 3; i++ {
+		e.Spawn("g", func(tk *sim.Task) { c.Use(tk, 20*time.Millisecond, params.PrioGuest) })
+	}
+	e.After(5*time.Millisecond, func() {
+		if n := c.QueueLen(params.PrioGuest); n != 3 {
+			t.Errorf("QueueLen(guest) = %d, want 3", n)
+		}
+		if n := c.QueueLen(params.PrioKernel); n != 3 {
+			t.Errorf("QueueLen(kernel..) = %d, want 3", n)
+		}
+	})
+	e.Run()
+}

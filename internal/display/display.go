@@ -1,0 +1,71 @@
+// Package display implements the per-workstation display server.
+//
+// In V, programs perform all terminal output through a display server that
+// remains co-resident with the frame buffer it manages (§2.2): the display
+// is the one piece of hardware bound to the user's workstation, so output
+// is network-transparent — a program writes to the same server PID whether
+// it runs at home, remotely, or after migrating. The captured output
+// stream is how examples and tests observe program behaviour.
+package display
+
+import (
+	"time"
+
+	"vsystem/internal/kernel"
+	"vsystem/internal/vid"
+	"vsystem/internal/vvm"
+)
+
+// OpWriteLine appends the segment to the display (re-exported from vvm,
+// where it is defined for the OUT instruction).
+const OpWriteLine = vvm.OpWriteLine
+
+// OpReadBack returns the captured display contents (tools only).
+const OpReadBack uint16 = 0x71
+
+// drawCPU is the cost of rendering one output line.
+const drawCPU = 2 * time.Millisecond
+
+// Server is a workstation's display server.
+type Server struct {
+	proc  *kernel.Process
+	lines []string
+}
+
+// Start spawns the display server on a host.
+func Start(h *kernel.Host) *Server {
+	s := &Server{}
+	s.proc = h.SpawnServer("display", 32*1024, s.run)
+	return s
+}
+
+// PID returns the display server's process identifier — what programs get
+// as their standard output in the environment block.
+func (s *Server) PID() vid.PID { return s.proc.PID() }
+
+// Lines returns the captured output lines.
+func (s *Server) Lines() []string { return append([]string(nil), s.lines...) }
+
+func (s *Server) run(ctx *kernel.ProcCtx) {
+	for {
+		req := ctx.Receive()
+		switch req.Msg.Op {
+		case OpWriteLine:
+			ctx.Compute(drawCPU)
+			s.lines = append(s.lines, string(req.Msg.Seg))
+			ctx.Reply(req, vid.Message{Op: OpWriteLine})
+		case OpReadBack:
+			var seg []byte
+			for _, l := range s.lines {
+				seg = append(seg, l...)
+				seg = append(seg, '\n')
+			}
+			if len(seg) > vid.SegMax {
+				seg = seg[len(seg)-vid.SegMax:]
+			}
+			ctx.Reply(req, vid.Message{Op: OpReadBack, Seg: seg})
+		default:
+			ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+		}
+	}
+}

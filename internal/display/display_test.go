@@ -1,0 +1,76 @@
+package display
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/kernel"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+func TestWriteAndReadBack(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := ethernet.NewBus(eng)
+	home := kernel.NewHost(eng, bus, 0, "ws0")
+	remote := kernel.NewHost(eng, bus, 1, "ws1")
+	d := Start(home)
+
+	// A process on ANOTHER host writes to ws0's display: terminal output
+	// is network-transparent (§2.2).
+	var err error
+	var back vid.Message
+	remote.SpawnServer("writer", 4096, func(ctx *kernel.ProcCtx) {
+		for _, line := range []string{"one", "two", "three"} {
+			if _, e := ctx.Send(d.PID(), vid.Message{Op: OpWriteLine, Seg: []byte(line)}); e != nil {
+				err = e
+				return
+			}
+		}
+		back, err = ctx.Send(d.PID(), vid.Message{Op: OpReadBack})
+	})
+	eng.RunFor(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := d.Lines()
+	if len(lines) != 3 || lines[0] != "one" || lines[2] != "three" {
+		t.Fatalf("lines = %q", lines)
+	}
+	if !strings.Contains(string(back.Seg), "two\n") {
+		t.Fatalf("readback = %q", back.Seg)
+	}
+}
+
+func TestUnknownOpRefused(t *testing.T) {
+	eng := sim.NewEngine(2)
+	bus := ethernet.NewBus(eng)
+	h := kernel.NewHost(eng, bus, 0, "ws0")
+	d := Start(h)
+	var rep vid.Message
+	h.SpawnServer("writer", 4096, func(ctx *kernel.ProcCtx) {
+		rep, _ = ctx.Send(d.PID(), vid.Message{Op: 0x7F})
+	})
+	eng.RunFor(time.Minute)
+	if rep.OK() {
+		t.Fatal("unknown op succeeded")
+	}
+}
+
+func TestLinesIsACopy(t *testing.T) {
+	eng := sim.NewEngine(3)
+	bus := ethernet.NewBus(eng)
+	h := kernel.NewHost(eng, bus, 0, "ws0")
+	d := Start(h)
+	h.SpawnServer("writer", 4096, func(ctx *kernel.ProcCtx) {
+		ctx.Send(d.PID(), vid.Message{Op: OpWriteLine, Seg: []byte("orig")})
+	})
+	eng.RunFor(time.Minute)
+	l := d.Lines()
+	l[0] = "mutated"
+	if d.Lines()[0] != "orig" {
+		t.Fatal("Lines exposed internal state")
+	}
+}

@@ -1,0 +1,184 @@
+// Package ethernet simulates a shared 10 Mbit/s Ethernet segment: a single
+// broadcast medium on which frames serialize, with optional loss injection.
+//
+// The model is deliberately simple — FIFO access to the medium rather than
+// CSMA/CD — because the behaviours the reproduction depends on are frame
+// serialization at 10 Mbit/s, broadcast/multicast delivery, and packet
+// loss. Propagation delay on a building-scale segment (< 10 µs) is folded
+// into the per-frame overhead.
+package ethernet
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+)
+
+// MAC is a station address on the segment.
+type MAC uint16
+
+// Broadcast addresses every station.
+const Broadcast MAC = 0xFFFF
+
+func (m MAC) String() string {
+	if m == Broadcast {
+		return "mac:*"
+	}
+	return fmt.Sprintf("mac:%02x", uint16(m))
+}
+
+// Frame is one unit of transmission.
+type Frame struct {
+	Src, Dst MAC
+	Payload  []byte
+}
+
+// Size returns the payload size in bytes.
+func (f Frame) Size() int { return len(f.Payload) }
+
+// LossFunc decides whether a frame is dropped in transit. It may be nil (no
+// loss). It is consulted once per frame; a dropped frame still occupies the
+// medium for its transmission time.
+type LossFunc func(f Frame) bool
+
+// Stats aggregates segment-level counters.
+type Stats struct {
+	Frames     int64
+	Bytes      int64
+	Dropped    int64
+	Broadcasts int64
+	BusyTime   time.Duration
+}
+
+// Bus is the shared segment.
+type Bus struct {
+	eng       *sim.Engine
+	stations  map[MAC]*NIC
+	order     []*NIC // attach order, for deterministic broadcast delivery
+	busyUntil sim.Time
+	loss      LossFunc
+	stats     Stats
+}
+
+// NewBus creates an empty segment on the engine.
+func NewBus(eng *sim.Engine) *Bus {
+	return &Bus{eng: eng, stations: make(map[MAC]*NIC)}
+}
+
+// SetLoss installs a loss model. RandomLoss(p, eng) is the common choice.
+func (b *Bus) SetLoss(f LossFunc) { b.loss = f }
+
+// Stats returns a copy of the segment counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// RandomLoss returns a LossFunc dropping each frame independently with
+// probability p, drawing from the engine's deterministic random source.
+func RandomLoss(eng *sim.Engine, p float64) LossFunc {
+	return func(Frame) bool { return eng.Rand().Float64() < p }
+}
+
+// Attach creates a NIC with the given address. Addresses must be unique.
+func (b *Bus) Attach(mac MAC) *NIC {
+	if mac == Broadcast {
+		panic("ethernet: cannot attach the broadcast address")
+	}
+	if _, dup := b.stations[mac]; dup {
+		panic(fmt.Sprintf("ethernet: duplicate station %v", mac))
+	}
+	n := &NIC{bus: b, mac: mac}
+	b.stations[mac] = n
+	b.order = append(b.order, n)
+	return n
+}
+
+// transmit serializes the frame on the medium and schedules delivery at
+// transmission end. It returns the instant the medium becomes free.
+func (b *Bus) transmit(f Frame) sim.Time {
+	if len(f.Payload) > params.FrameMTU {
+		panic(fmt.Sprintf("ethernet: frame payload %d exceeds MTU", len(f.Payload)))
+	}
+	now := b.eng.Now()
+	start := b.busyUntil
+	if start < now {
+		start = now
+	}
+	wire := params.WireTime(len(f.Payload))
+	end := start.Add(wire)
+	b.busyUntil = end
+	b.stats.Frames++
+	b.stats.Bytes += int64(len(f.Payload))
+	b.stats.BusyTime += wire
+	dropped := b.loss != nil && b.loss(f)
+	if dropped {
+		b.stats.Dropped++
+	}
+	b.eng.At(end, func() {
+		if dropped {
+			return
+		}
+		if f.Dst == Broadcast {
+			b.stats.Broadcasts++
+			for _, n := range b.order {
+				if n.mac != f.Src && n.recv != nil {
+					n.deliver(f)
+				}
+			}
+			return
+		}
+		if n := b.stations[f.Dst]; n != nil && n.recv != nil {
+			n.deliver(f)
+		}
+	})
+	return end
+}
+
+// NIC is one station's interface.
+type NIC struct {
+	bus  *Bus
+	mac  MAC
+	recv func(Frame)
+
+	txFrames int64
+	rxFrames int64
+}
+
+// MAC returns the station address.
+func (n *NIC) MAC() MAC { return n.mac }
+
+// Engine returns the simulation engine the NIC runs on.
+func (n *NIC) Engine() *sim.Engine { return n.bus.eng }
+
+// SetRecv installs the delivery callback, invoked at frame arrival time on
+// the engine goroutine.
+func (n *NIC) SetRecv(fn func(Frame)) { n.recv = fn }
+
+func (n *NIC) deliver(f Frame) {
+	n.rxFrames++
+	n.recv(f)
+}
+
+// StartSend queues the frame for transmission and returns immediately; done
+// (which may be nil) runs when the frame has left the wire.
+func (n *NIC) StartSend(f Frame, done func()) {
+	f.Src = n.mac
+	n.txFrames++
+	end := n.bus.transmit(f)
+	if done != nil {
+		n.bus.eng.At(end, done)
+	}
+}
+
+// Send transmits the frame and blocks the calling task until it has left
+// the wire, modeling a sender that does not overlap protocol processing of
+// the next packet with the transmission of the current one (as the paper's
+// 68010-class hosts could not).
+func (n *NIC) Send(t *sim.Task, f Frame) {
+	var q sim.WaitQ
+	n.StartSend(f, func() { q.WakeOne() })
+	q.Wait(t)
+}
+
+// Counters reports frames sent and received by this NIC.
+func (n *NIC) Counters() (tx, rx int64) { return n.txFrames, n.rxFrames }

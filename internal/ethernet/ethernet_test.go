@@ -1,0 +1,165 @@
+package ethernet
+
+import (
+	"testing"
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+)
+
+func TestUnicastDelivery(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	b := bus.Attach(2)
+	var got []Frame
+	b.SetRecv(func(f Frame) { got = append(got, f) })
+	a.StartSend(Frame{Dst: 2, Payload: []byte("hello")}, nil)
+	e.Run()
+	if len(got) != 1 || string(got[0].Payload) != "hello" || got[0].Src != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestWireTimeCalibration(t *testing.T) {
+	// A 1024-byte payload should occupy the 10 Mbit medium for
+	// (1024+38)*8/10e6 s ≈ 850 µs.
+	w := params.WireTime(1024)
+	if w < 840*time.Microsecond || w > 860*time.Microsecond {
+		t.Fatalf("WireTime(1024) = %v, want ≈850µs", w)
+	}
+}
+
+func TestFrameSerialization(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	c := bus.Attach(3)
+	b := bus.Attach(2)
+	var arrivals []sim.Time
+	b.SetRecv(func(f Frame) { arrivals = append(arrivals, e.Now()) })
+	pay := make([]byte, 1000)
+	// Two stations transmit at the same instant: the second frame must wait
+	// for the first to clear the medium.
+	a.StartSend(Frame{Dst: 2, Payload: pay}, nil)
+	c.StartSend(Frame{Dst: 2, Payload: pay}, nil)
+	e.Run()
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(arrivals))
+	}
+	wire := params.WireTime(1000)
+	if arrivals[0] != sim.Time(wire) {
+		t.Fatalf("first arrival %v, want %v", arrivals[0], wire)
+	}
+	if arrivals[1] != sim.Time(2*wire) {
+		t.Fatalf("second arrival %v, want %v (serialized)", arrivals[1], 2*wire)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	nics := make([]*NIC, 5)
+	got := make([]int, 5)
+	for i := range nics {
+		i := i
+		nics[i] = bus.Attach(MAC(i + 1))
+		nics[i].SetRecv(func(Frame) { got[i]++ })
+	}
+	nics[0].StartSend(Frame{Dst: Broadcast, Payload: []byte("q")}, nil)
+	e.Run()
+	if got[0] != 0 {
+		t.Fatal("sender received its own broadcast")
+	}
+	for i := 1; i < 5; i++ {
+		if got[i] != 1 {
+			t.Fatalf("station %d got %d frames, want 1", i, got[i])
+		}
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	e := sim.NewEngine(7)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	b := bus.Attach(2)
+	received := 0
+	b.SetRecv(func(Frame) { received++ })
+	bus.SetLoss(RandomLoss(e, 0.5))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		a.StartSend(Frame{Dst: 2, Payload: []byte("x")}, nil)
+	}
+	e.Run()
+	st := bus.Stats()
+	if st.Dropped == 0 || received == n {
+		t.Fatal("loss model dropped nothing")
+	}
+	if int(st.Dropped)+received != n {
+		t.Fatalf("dropped %d + received %d != %d", st.Dropped, received, n)
+	}
+	if received < 400 || received > 600 {
+		t.Fatalf("received %d of %d at p=0.5, outside [400,600]", received, n)
+	}
+}
+
+func TestBlockingSend(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	bus.Attach(2).SetRecv(func(Frame) {})
+	var done sim.Time
+	e.Spawn("tx", func(tk *sim.Task) {
+		a.Send(tk, Frame{Dst: 2, Payload: make([]byte, 1024)})
+		done = tk.Now()
+	})
+	e.Run()
+	if done != sim.Time(params.WireTime(1024)) {
+		t.Fatalf("blocking send returned at %v, want %v", done, params.WireTime(1024))
+	}
+}
+
+func TestMTUEnforced(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize frame did not panic")
+		}
+	}()
+	a.StartSend(Frame{Dst: 2, Payload: make([]byte, params.FrameMTU+1)}, nil)
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	bus.Attach(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	bus.Attach(1)
+}
+
+func TestCountersAndStats(t *testing.T) {
+	e := sim.NewEngine(1)
+	bus := NewBus(e)
+	a := bus.Attach(1)
+	b := bus.Attach(2)
+	b.SetRecv(func(Frame) {})
+	a.StartSend(Frame{Dst: 2, Payload: make([]byte, 100)}, nil)
+	a.StartSend(Frame{Dst: 2, Payload: make([]byte, 200)}, nil)
+	e.Run()
+	tx, _ := a.Counters()
+	_, rx := b.Counters()
+	if tx != 2 || rx != 2 {
+		t.Fatalf("tx=%d rx=%d, want 2,2", tx, rx)
+	}
+	st := bus.Stats()
+	if st.Frames != 2 || st.Bytes != 300 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

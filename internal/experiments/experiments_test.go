@@ -1,0 +1,49 @@
+package experiments
+
+import "testing"
+
+// Each experiment runs as a test so the full evaluation is exercised by
+// `go test`; the shape assertions inside the harness are the pass/fail
+// criteria.
+func runExp(t *testing.T, f func(int64) *Result) {
+	t.Helper()
+	r := f(1)
+	t.Log("\n" + r.Format())
+	if !r.Pass {
+		t.Fatalf("%s failed shape assertions:\n%s", r.ID, r.Format())
+	}
+}
+
+func TestE1RemoteExecCosts(t *testing.T)      { runExp(t, RemoteExecCosts) }
+func TestE2MigrationCopyCosts(t *testing.T)   { runExp(t, MigrationCopyCosts) }
+func TestE3DirtyPageRates(t *testing.T)       { runExp(t, DirtyPageRates) }
+func TestE4PrecopyEffectiveness(t *testing.T) { runExp(t, PrecopyEffectiveness) }
+func TestE5ExecutionOverheads(t *testing.T)   { runExp(t, ExecutionOverheads) }
+func TestF21CommPaths(t *testing.T)           { runExp(t, CommPaths) }
+func TestE7CommDuringMigration(t *testing.T)  { runExp(t, CommDuringMigration) }
+func TestF31VMPaging(t *testing.T)            { runExp(t, VMPaging) }
+func TestA1AblationFreeze(t *testing.T)       { runExp(t, AblationFreeze) }
+func TestA2AblationResidual(t *testing.T)     { runExp(t, AblationResidual) }
+func TestA3Usage(t *testing.T)                { runExp(t, Usage) }
+func TestE8SelectionScaling(t *testing.T)     { runExp(t, SelectionScaling) }
+func TestA4MigrationUnderLoss(t *testing.T)   { runExp(t, MigrationUnderLoss) }
+func TestA5PrecopyRounds(t *testing.T)        { runExp(t, PrecopyRounds) }
+
+func TestE6SpaceCost(t *testing.T) {
+	r := SpaceCost("../..") // repo root relative to this package
+	t.Log("\n" + r.Format())
+	if !r.Pass {
+		t.Fatalf("E6 failed:\n%s", r.Format())
+	}
+}
+
+func TestByNameAndNamesAgree(t *testing.T) {
+	for _, n := range Names() {
+		if _, ok := ByName(n); !ok {
+			t.Errorf("Names() lists %q but ByName misses it", n)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("ByName found a bogus experiment")
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsAcrossSeeds guards the shape assertions against seed
+// sensitivity: the benchmark harness reruns experiments with increasing
+// seeds, so every experiment must pass for the first few.
+func TestAllExperimentsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep is slow")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, name := range Names() {
+			f, _ := ByName(name)
+			r := f(seed)
+			if !r.Pass {
+				t.Errorf("%s failed at seed %d:\n%s", name, seed, r.Format())
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package fileserver implements the network file server.
+//
+// The paper's workstations are diskless: program images load from network
+// file servers, so "the cost of program loading is independent of whether
+// a program is executed locally or remotely" (§4.1) — a keystone of
+// transparent remote execution. The server also provides the paging
+// backend for the §3.2 virtual-memory migration variant and the keep-state
+// -in-global-servers discipline that avoids residual dependencies (§3.3).
+package fileserver
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vsystem/internal/kernel"
+	"vsystem/internal/params"
+	"vsystem/internal/vid"
+)
+
+// Operations.
+const (
+	// OpStat: Seg=name → W0=size (bytes).
+	OpStat uint16 = 0x50 + iota
+	// OpRead: Seg=name, W0=offset, W1=length (≤ SegMax) → Seg=data.
+	OpRead
+	// OpWrite: Seg=name bytes NUL data bytes, W0=offset → W0=new size.
+	OpWrite
+	// OpRemove: Seg=name.
+	OpRemove
+	// OpPageOut: paging backend — Seg=key NUL data.
+	OpPageOut
+	// OpPageIn: Seg=key → Seg=data.
+	OpPageIn
+	// OpList: → Seg=NUL-separated names (tools).
+	OpList
+	// OpPageOutRun: paging backend bulk write — Seg=prefix NUL page-run
+	// (kernel.EncodePageRun format); each page is stored under
+	// "prefix/space/pageno".
+	OpPageOutRun
+)
+
+// Server is a network file server process with an in-memory store.
+type Server struct {
+	proc  *kernel.Process
+	files map[string][]byte
+	pages map[string][]byte
+}
+
+// Start spawns a file server on a host (typically a dedicated server
+// machine) and joins the file-server group.
+func Start(h *kernel.Host) *Server {
+	s := &Server{files: make(map[string][]byte), pages: make(map[string][]byte)}
+	s.proc = h.SpawnServer("fileserver", 128*1024, s.run)
+	h.JoinGroup(vid.GroupFileServers, s.proc.PID())
+	return s
+}
+
+// PID returns the file server's process identifier.
+func (s *Server) PID() vid.PID { return s.proc.PID() }
+
+// Put stores a file directly (cluster setup; no simulated cost).
+func (s *Server) Put(name string, data []byte) {
+	s.files[name] = append([]byte(nil), data...)
+}
+
+// Get reads a file directly (tests; no simulated cost).
+func (s *Server) Get(name string) ([]byte, bool) {
+	b, ok := s.files[name]
+	return b, ok
+}
+
+// blockCost charges the per-block file-service cost for n bytes.
+func blockCost(n int) time.Duration {
+	blocks := (n + 1023) / 1024
+	if blocks < 1 {
+		blocks = 1
+	}
+	return time.Duration(blocks) * params.FileServerBlockCPU
+}
+
+func (s *Server) run(ctx *kernel.ProcCtx) {
+	for {
+		req := ctx.Receive()
+		m := req.Msg
+		switch m.Op {
+		case OpStat:
+			data, ok := s.files[m.SegString()]
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+				continue
+			}
+			ctx.Compute(params.FileServerBlockCPU)
+			// W5 identifies the server, so clients that found it through
+			// the file-server group can address it directly afterwards.
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
+				uint32(len(data)), 0, 0, 0, 0, uint32(s.proc.PID()),
+			}})
+
+		case OpRead:
+			data, ok := s.files[m.SegString()]
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+				continue
+			}
+			off, n := int(m.W[0]), int(m.W[1])
+			if n > vid.SegMax {
+				n = vid.SegMax
+			}
+			if off > len(data) {
+				off = len(data)
+			}
+			if off+n > len(data) {
+				n = len(data) - off
+			}
+			ctx.Compute(blockCost(n))
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{uint32(n)}, Seg: data[off : off+n]})
+
+		case OpWrite:
+			name, payload, ok := splitNameData(m.Seg)
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+				continue
+			}
+			off := int(m.W[0])
+			f := s.files[name]
+			if need := off + len(payload); need > len(f) {
+				f = append(f, make([]byte, need-len(f))...)
+			}
+			copy(f[off:], payload)
+			s.files[name] = f
+			ctx.Compute(blockCost(len(payload)))
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{uint32(len(f))}})
+
+		case OpRemove:
+			delete(s.files, m.SegString())
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case OpPageOut:
+			key, payload, ok := splitNameData(m.Seg)
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+				continue
+			}
+			s.pages[key] = append([]byte(nil), payload...)
+			ctx.Compute(blockCost(len(payload)))
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case OpPageOutRun:
+			prefix, blob, ok := splitNameData(m.Seg)
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+				continue
+			}
+			spaceID, pages, data, err := kernel.DecodePageRun(blob)
+			if err != nil {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+				continue
+			}
+			n := 0
+			for i, pn := range pages {
+				key := fmt.Sprintf("%s/%d/%d", prefix, spaceID, pn)
+				s.pages[key] = append([]byte(nil), data[i]...)
+				n += len(data[i])
+			}
+			ctx.Compute(blockCost(n))
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case OpPageIn:
+			data, ok := s.pages[m.SegString()]
+			if !ok {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+				continue
+			}
+			ctx.Compute(blockCost(len(data)))
+			ctx.Reply(req, vid.Message{Op: m.Op, Seg: data})
+
+		case OpList:
+			names := make([]string, 0, len(s.files))
+			for name := range s.files {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			var seg []byte
+			for _, name := range names {
+				seg = append(seg, name...)
+				seg = append(seg, 0)
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op, Seg: seg})
+
+		default:
+			ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+		}
+	}
+}
+
+// splitNameData separates "name\x00data" segments.
+func splitNameData(seg []byte) (string, []byte, bool) {
+	for i, b := range seg {
+		if b == 0 {
+			return string(seg[:i]), seg[i+1:], true
+		}
+	}
+	return "", nil, false
+}

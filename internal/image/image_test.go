@@ -1,0 +1,126 @@
+package image
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vsystem/internal/vid"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	im := &Image{
+		Name:      "cc68",
+		Kind:      "vvm",
+		Code:      []byte{1, 2, 3, 4},
+		Data:      []byte("initialized"),
+		SpaceSize: 256 * 1024,
+	}
+	got, err := Decode(im.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, im) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestImagePadGrowsFileOnly(t *testing.T) {
+	small := &Image{Name: "p", Kind: "vvm", Code: []byte{1}}
+	big := &Image{Name: "p", Kind: "vvm", Code: []byte{1}, Pad: 100 * 1024}
+	if big.Size() < small.Size()+100*1024 {
+		t.Fatalf("pad ignored: %d vs %d", big.Size(), small.Size())
+	}
+	got, err := Decode(big.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "p" || len(got.Code) != 1 {
+		t.Fatal("padded image decoded wrong")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not an image")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("nil decoded")
+	}
+}
+
+func TestEnvBlockRoundTrip(t *testing.T) {
+	e := &EnvBlock{
+		Stdout:     vid.NewPID(3, 18),
+		FileServer: vid.NewPID(9, 16),
+		Args:       []string{"cc68", "-O", "main.c"},
+		HeapBase:   0x9000,
+	}
+	got, err := DecodeEnv(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, e) {
+		t.Fatalf("got %+v, want %+v", got, e)
+	}
+}
+
+func TestEnvBlockNoArgs(t *testing.T) {
+	e := &EnvBlock{Stdout: vid.NewPID(1, 16)}
+	got, err := DecodeEnv(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Args) != 0 || got.Stdout != e.Stdout {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestEnvBlockBadMagic(t *testing.T) {
+	b := (&EnvBlock{}).Encode()
+	b[0] ^= 0xFF
+	if _, err := DecodeEnv(b); err == nil {
+		t.Fatal("bad magic decoded")
+	}
+	if _, err := DecodeEnv([]byte{1, 2}); err == nil {
+		t.Fatal("short block decoded")
+	}
+}
+
+func TestQuickEnvArgsRoundTrip(t *testing.T) {
+	f := func(stdout, fs uint32, heap uint32, rawArgs [][]byte) bool {
+		var args []string
+		for _, a := range rawArgs {
+			// NULs are the arg separator; strip them from inputs.
+			s := ""
+			for _, b := range a {
+				if b != 0 {
+					s += string(rune(b))
+				}
+			}
+			args = append(args, s)
+		}
+		e := &EnvBlock{
+			Stdout:     vid.PID(stdout),
+			FileServer: vid.PID(fs),
+			HeapBase:   heap,
+			Args:       args,
+		}
+		got, err := DecodeEnv(e.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got.Args) != len(args) {
+			return false
+		}
+		for i := range args {
+			if got.Args[i] != args[i] {
+				return false
+			}
+		}
+		return got.Stdout == e.Stdout && got.HeapBase == heap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

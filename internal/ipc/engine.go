@@ -1,0 +1,593 @@
+// Package ipc implements the inter-kernel communication engine of the
+// simulated V-System: network-transparent Send/Receive/Reply transactions
+// between processes named by structured PIDs, with the mechanisms the
+// paper's migration design depends on:
+//
+//   - retransmission with abort timeouts, and reply-pending packets that
+//     suspend rather than abort operations on busy or frozen destinations
+//     (§3.1.3);
+//   - reply caches, so a replier can satisfy duplicate requests — which is
+//     how a migrated process recovers a reply that was discarded while its
+//     logical host was frozen;
+//   - a per-host cache of logical-host → physical-host bindings, refreshed
+//     by broadcast locate requests, incoming traffic, and new-binding
+//     notices — the reference-rebinding mechanism of §3.1.4;
+//   - process-group sends (broadcast on the wire, fanned out to local
+//     members), used for decentralized host selection (§2.1);
+//   - fragmentation of large segments into 1 KB frames with selective
+//     NACK-based repair, modeling V's multi-packet bulk transfers.
+//
+// One Engine instance exists per physical host. It owns a "netd" task that
+// models the kernel's network-input processing, charging CPU per packet at
+// kernel priority.
+package ipc
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/cpu"
+	"vsystem/internal/ethernet"
+	"vsystem/internal/packet"
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Resolver is the kernel-side view the engine needs to route and deliver.
+type Resolver interface {
+	// LHResident reports whether the logical host currently resides on
+	// this physical host.
+	LHResident(lh vid.LHID) bool
+	// Frozen reports whether a resident logical host is frozen.
+	Frozen(lh vid.LHID) bool
+	// WellKnown maps a well-known local index (kernel server, program
+	// manager) of a resident logical host to the concrete port PID.
+	WellKnown(lh vid.LHID, idx uint16) (vid.PID, bool)
+	// GroupMembers returns local ports belonging to a global group.
+	GroupMembers(g vid.PID) []vid.PID
+	// DeferWhenFrozen reports whether a request to dst with the given
+	// operation must be deferred while dst's logical host is frozen.
+	// §3.1.3 defers "requests that modify this logical host"; read-only
+	// kernel-server operations (debugger reads, queries) pass through.
+	DeferWhenFrozen(dst vid.PID, op uint16) bool
+}
+
+// TraceEvent records one packet movement for communication-path analysis.
+type TraceEvent struct {
+	At   sim.Time
+	Host ethernet.MAC
+	Dir  string // "tx", "rx", "local"
+	Pkt  *packet.Packet
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	TxPackets        int64
+	RxPackets        int64
+	TxByKind         [16]int64
+	RxByKind         [16]int64
+	Retransmits      int64
+	RepliesFromCache int64
+	ReplyPendings    int64
+	Locates          int64
+	Forwarded        int64
+	DroppedFrozen    int64
+	DroppedStale     int64
+	LocalDeliveries  int64
+}
+
+// Engine is the per-host IPC engine.
+type Engine struct {
+	sim      *sim.Engine
+	nic      *ethernet.NIC
+	cpu      *cpu.CPU
+	res      Resolver
+	ports    map[vid.PID]*Port
+	portList []*Port // registration order, for deterministic iteration
+	cache    map[vid.LHID]ethernet.MAC
+	jobs     sim.Queue[job]
+	reasm    map[reasmKey]*reasmBuf
+	txBuf    map[reasmKey]*fragSource
+	forward  map[vid.LHID]ethernet.MAC
+	stats    Stats
+	trace    func(TraceEvent)
+
+	// NoRebind disables the logical-host rebinding machinery (cache
+	// invalidation after unanswered retransmissions): the Demos/MP
+	// comparator, which relies on forwarding addresses instead (§5).
+	NoRebind bool
+
+	// GroupIndirection models the local-group-id lookup for well-known
+	// indices; when enabled each such delivery charges GroupIndirectCPU
+	// (the paper's measured 100 µs, §4.1). Disabled for the ablation.
+	GroupIndirection bool
+}
+
+type job struct {
+	// Exactly one of these is set.
+	out   *outJob
+	frame *ethernet.Frame
+	local *packet.Packet  // intra-host delivery
+	fn    func(*sim.Task) // arbitrary deferred kernel work
+}
+
+type outJob struct {
+	pkt *packet.Packet
+	dst ethernet.MAC
+}
+
+type reasmKey struct {
+	src, dst vid.PID
+	txid     uint32
+	kind     packet.Kind
+}
+
+type reasmBuf struct {
+	chunks [][]byte
+	got    int
+}
+
+type fragSource struct {
+	seg     []byte
+	dst     ethernet.MAC
+	summary *packet.Packet
+}
+
+// New creates the engine for one host and starts its network daemon.
+func New(se *sim.Engine, nic *ethernet.NIC, c *cpu.CPU, res Resolver) *Engine {
+	e := &Engine{
+		sim:              se,
+		nic:              nic,
+		cpu:              c,
+		res:              res,
+		ports:            make(map[vid.PID]*Port),
+		cache:            make(map[vid.LHID]ethernet.MAC),
+		reasm:            make(map[reasmKey]*reasmBuf),
+		txBuf:            make(map[reasmKey]*fragSource),
+		forward:          make(map[vid.LHID]ethernet.MAC),
+		GroupIndirection: true,
+	}
+	nic.SetRecv(func(f ethernet.Frame) {
+		ff := f
+		e.jobs.Push(job{frame: &ff})
+	})
+	se.Spawn(fmt.Sprintf("netd@%v", nic.MAC()), e.netd)
+	return e
+}
+
+// Sim returns the simulation engine.
+func (e *Engine) Sim() *sim.Engine { return e.sim }
+
+// CPU returns the host CPU this engine charges.
+func (e *Engine) CPU() *cpu.CPU { return e.cpu }
+
+// MAC returns the host's station address.
+func (e *Engine) MAC() ethernet.MAC { return e.nic.MAC() }
+
+// Stats returns a copy of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// SetTrace installs a packet-trace hook (nil to disable).
+func (e *Engine) SetTrace(fn func(TraceEvent)) { e.trace = fn }
+
+// CacheLookup exposes the logical-host cache (for tests and experiments).
+func (e *Engine) CacheLookup(lh vid.LHID) (ethernet.MAC, bool) {
+	m, ok := e.cache[lh]
+	return m, ok
+}
+
+// InvalidateCache drops a binding (used by experiments to force a locate).
+func (e *Engine) InvalidateCache(lh vid.LHID) { delete(e.cache, lh) }
+
+// BroadcastBinding announces that a logical host now resides on this host —
+// the §3.1.4 optimization performed when a migrated logical host is
+// unfrozen.
+func (e *Engine) BroadcastBinding(lh vid.LHID) {
+	e.emit(&packet.Packet{Kind: packet.KBinding, LH: lh}, ethernet.Broadcast)
+}
+
+// Defer runs fn on the network daemon task (kernel context). Used by the
+// kernel for work that must charge CPU but has no process task.
+func (e *Engine) Defer(fn func(*sim.Task)) { e.jobs.Push(job{fn: fn}) }
+
+// netd is the kernel network daemon: it serializes this host's protocol
+// processing, charging CPU per packet.
+func (e *Engine) netd(t *sim.Task) {
+	for {
+		j := e.jobs.Pop(t)
+		switch {
+		case j.out != nil:
+			e.sendNow(t, j.out.pkt, j.out.dst)
+		case j.frame != nil:
+			e.recvFrame(t, *j.frame)
+		case j.local != nil:
+			cost := params.LocalDeliverCPU
+			if n := len(j.local.Msg.Seg); n > 0 {
+				cost += time.Duration((n+1023)/1024) * params.LocalCopyPerKB
+			}
+			e.cpu.Use(t, cost, params.PrioKernel)
+			e.stats.LocalDeliveries++
+			if e.trace != nil {
+				e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "local", Pkt: j.local})
+			}
+			e.dispatch(t, j.local, e.nic.MAC())
+		case j.fn != nil:
+			j.fn(t)
+		}
+	}
+}
+
+// emit queues a packet for transmission by netd.
+func (e *Engine) emit(p *packet.Packet, dst ethernet.MAC) {
+	e.jobs.Push(job{out: &outJob{pkt: p, dst: dst}})
+}
+
+// emitLocal queues a packet for intra-host delivery.
+func (e *Engine) emitLocal(p *packet.Packet) {
+	e.jobs.Push(job{local: p})
+}
+
+// sendNow marshals and transmits a (non-fragmented) packet, charging CPU.
+func (e *Engine) sendNow(t *sim.Task, p *packet.Packet, dst ethernet.MAC) {
+	e.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
+	e.transmitFrame(t, p, dst, false)
+}
+
+// transmitFrame marshals p and puts it on the wire. If wait is true the
+// task blocks until the frame clears the medium (bulk pacing).
+func (e *Engine) transmitFrame(t *sim.Task, p *packet.Packet, dst ethernet.MAC, wait bool) {
+	e.stats.TxPackets++
+	e.stats.TxByKind[p.Kind]++
+	if e.trace != nil {
+		e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "tx", Pkt: p})
+	}
+	f := ethernet.Frame{Dst: dst, Payload: packet.Marshal(p)}
+	if wait {
+		e.nic.Send(t, f)
+	} else {
+		e.nic.StartSend(f, nil)
+	}
+}
+
+// sendFragged transmits a packet whose segment exceeds the inline limit:
+// the caller's task pushes one full-size frame per fragment, charging
+// BulkSendCPU and waiting out each frame's wire time (this serialization is
+// what yields the paper's ≈3 s/Mbyte inter-host copy rate), then the
+// summary packet. The fragment source is retained for NACK repair.
+func (e *Engine) sendFragged(t *sim.Task, p *packet.Packet, dst ethernet.MAC) {
+	seg := p.Msg.Seg
+	n := packet.NumFrags(len(seg))
+	key := reasmKey{src: p.Src, dst: p.Dst, txid: p.TxID, kind: p.Kind}
+	summary := *p
+	summary.Msg.Seg = nil
+	summary.SegLen = uint32(len(seg))
+	summary.FragCount = uint16(n)
+	e.txBuf[key] = &fragSource{seg: seg, dst: dst, summary: &summary}
+	for i := 0; i < n; i++ {
+		e.cpu.Use(t, params.BulkSendCPU, params.PrioKernel)
+		e.transmitFrame(t, &packet.Packet{
+			Kind:      packet.KFrag,
+			TxID:      p.TxID,
+			Src:       p.Src,
+			Dst:       p.Dst,
+			OfKind:    p.Kind,
+			FragIdx:   uint16(i),
+			FragCount: uint16(n),
+			Data:      packet.FragOf(seg, i),
+		}, dst, true)
+	}
+	e.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
+	e.transmitFrame(t, &summary, dst, false)
+	// Bound how long the repair buffer is retained.
+	e.sim.After(params.ReplyCacheTTL, func() {
+		if e.txBuf[key] != nil && e.txBuf[key].summary == &summary {
+			delete(e.txBuf, key)
+		}
+	})
+}
+
+// resendFrags services a FragNack: retransmit the missing fragments and the
+// summary. Runs on netd.
+func (e *Engine) resendFrags(t *sim.Task, key reasmKey, missing []uint16) {
+	src := e.txBuf[key]
+	if src == nil {
+		return
+	}
+	n := packet.NumFrags(len(src.seg))
+	for _, idx := range missing {
+		if int(idx) >= n {
+			continue
+		}
+		e.cpu.Use(t, params.BulkSendCPU, params.PrioKernel)
+		e.stats.Retransmits++
+		e.transmitFrame(t, &packet.Packet{
+			Kind:      packet.KFrag,
+			TxID:      key.txid,
+			Src:       key.src,
+			Dst:       src.summary.Dst,
+			OfKind:    key.kind,
+			FragIdx:   idx,
+			FragCount: uint16(n),
+			Data:      packet.FragOf(src.seg, int(idx)),
+		}, src.dst, true)
+	}
+	e.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
+	e.transmitFrame(t, src.summary, src.dst, false)
+}
+
+// recvFrame processes one arriving frame on netd.
+func (e *Engine) recvFrame(t *sim.Task, f ethernet.Frame) {
+	if len(f.Payload) >= 512 {
+		e.cpu.Use(t, params.BulkRecvCPU, params.PrioKernel)
+	} else {
+		e.cpu.Use(t, params.SmallPktRecvCPU, params.PrioKernel)
+	}
+	p, err := packet.Unmarshal(f.Payload)
+	if err != nil {
+		return // corrupt frame: drop
+	}
+	e.stats.RxPackets++
+	e.stats.RxByKind[p.Kind]++
+	if e.trace != nil {
+		e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "rx", Pkt: p})
+	}
+	e.dispatch(t, p, f.Src)
+}
+
+// dispatch routes a decoded packet (from the wire or delivered locally).
+func (e *Engine) dispatch(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
+	// Learn bindings from incoming traffic (§3.1.4: "the cache is also
+	// updated based on incoming requests").
+	if from != e.nic.MAC() && p.Src != vid.Nil && !p.Src.IsGroup() && !e.res.LHResident(p.Src.LH()) {
+		e.cache[p.Src.LH()] = from
+	}
+	switch p.Kind {
+	case packet.KFrag:
+		e.handleFrag(p)
+	case packet.KRequest:
+		e.deliverRequest(t, p, from)
+	case packet.KReply:
+		e.deliverReply(t, p, from)
+	case packet.KReplyPending:
+		if port := e.ports[p.Dst]; port != nil {
+			port.notePending(p.TxID)
+		}
+	case packet.KNoProc:
+		if port := e.ports[p.Dst]; port != nil {
+			port.failSend(p.TxID, vid.CodeNoProcess)
+		}
+	case packet.KLocateReq:
+		// A host answers for every resident logical host, frozen or not:
+		// during a migration the original host remains authoritative (and
+		// keeps deferring operations with reply-pending packets) until the
+		// old copy is deleted (§3.1.3).
+		if e.res.LHResident(p.LH) {
+			e.emit(&packet.Packet{Kind: packet.KLocateResp, LH: p.LH}, from)
+		}
+	case packet.KLocateResp:
+		e.cache[p.LH] = from
+		e.retryWaiters(p.LH)
+	case packet.KBinding:
+		e.cache[p.LH] = from
+		e.retryWaiters(p.LH)
+	case packet.KFragNack:
+		// p.Src is the original packet's source (us); p.Dst the nacker.
+		e.resendFrags(t, reasmKey{src: p.Src, dst: p.Dst, txid: p.TxID, kind: p.OfKind}, p.Missing)
+	}
+}
+
+// retryWaiters prompts any transaction addressed to lh to retransmit now
+// that a binding is known, instead of waiting out its retransmit interval.
+func (e *Engine) retryWaiters(lh vid.LHID) {
+	for _, port := range e.portList {
+		if s := port.send; s != nil && !s.done && s.dst.LH() == lh {
+			port.retransmit()
+		}
+	}
+}
+
+// handleFrag stores a fragment for reassembly.
+func (e *Engine) handleFrag(p *packet.Packet) {
+	key := reasmKey{src: p.Src, dst: p.Dst, txid: p.TxID, kind: p.OfKind}
+	buf := e.reasm[key]
+	if buf == nil {
+		buf = &reasmBuf{chunks: make([][]byte, p.FragCount)}
+		e.reasm[key] = buf
+		e.sim.After(params.FragReassemblyTTL, func() {
+			if e.reasm[key] == buf {
+				delete(e.reasm, key)
+			}
+		})
+	}
+	if int(p.FragIdx) < len(buf.chunks) && buf.chunks[p.FragIdx] == nil {
+		buf.chunks[p.FragIdx] = p.Data
+		buf.got++
+	}
+}
+
+// completeSeg attempts to attach a fragmented segment to its summary
+// packet. It returns false (after NACKing the gaps) if fragments are
+// missing.
+func (e *Engine) completeSeg(p *packet.Packet, from ethernet.MAC) bool {
+	if p.FragCount == 0 {
+		return true
+	}
+	key := reasmKey{src: p.Src, dst: p.Dst, txid: p.TxID, kind: p.Kind}
+	buf := e.reasm[key]
+	if buf == nil || buf.got < int(p.FragCount) {
+		var missing []uint16
+		for i := 0; i < int(p.FragCount); i++ {
+			if buf == nil || i >= len(buf.chunks) || buf.chunks[i] == nil {
+				missing = append(missing, uint16(i))
+			}
+		}
+		e.emit(&packet.Packet{
+			Kind:    packet.KFragNack,
+			TxID:    p.TxID,
+			Src:     p.Src,
+			Dst:     p.Dst,
+			OfKind:  p.Kind,
+			Missing: missing,
+		}, from)
+		return false
+	}
+	seg := make([]byte, 0, p.SegLen)
+	for _, c := range buf.chunks {
+		seg = append(seg, c...)
+	}
+	if uint32(len(seg)) > p.SegLen {
+		seg = seg[:p.SegLen]
+	}
+	p.Msg.Seg = seg
+	p.FragCount = 0
+	delete(e.reasm, key)
+	return true
+}
+
+// deliverRequest handles an arriving KRequest.
+func (e *Engine) deliverRequest(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
+	dst := p.Dst
+	if dst.IsGroup() {
+		for _, member := range e.res.GroupMembers(dst) {
+			cp := *p
+			cp.Dst = member
+			e.deliverRequest(t, &cp, from)
+		}
+		return
+	}
+	lh := dst.LH()
+	if !e.res.LHResident(lh) {
+		if fwd, ok := e.forward[lh]; ok {
+			// Demos/MP-style forwarding address: relay to the host the
+			// logical host moved to (§5). A residual dependency: the
+			// relay fails if this host is rebooted.
+			e.stats.Forwarded++
+			e.emit(p, fwd)
+			return
+		}
+		e.stats.DroppedStale++
+		return // stale routing; the sender will locate and retry
+	}
+	if e.res.Frozen(lh) && e.res.DeferWhenFrozen(dst, p.Msg.Op) {
+		// §3.1.3: requests that modify a frozen logical host are
+		// deferred; the kernel answers retransmissions with
+		// reply-pending packets so the sender neither aborts nor
+		// completes. Read-only operations (debugger queries) proceed.
+		e.stats.DroppedFrozen++
+		e.replyPending(p, from)
+		return
+	}
+	if dst.IsWellKnown() {
+		concrete, ok := e.res.WellKnown(lh, dst.Index())
+		if !ok {
+			e.noProc(p, from)
+			return
+		}
+		if e.GroupIndirection {
+			// The paper's measured 100 µs local-group-identifier
+			// indirection on every kernel-server/team-server operation.
+			e.cpu.Use(t, params.GroupIndirectCPU, params.PrioKernel)
+		}
+		dst = concrete
+	}
+	port := e.ports[dst]
+	if port == nil {
+		e.noProc(p, from)
+		return
+	}
+	// Reassemble large segments only for requests we will actually accept
+	// as new; duplicates are answered from the reply cache first.
+	switch port.classify(p.Src, p.TxID) {
+	case reqDuplicateReplied:
+		e.stats.RepliesFromCache++
+		port.resendCachedReply(p.Src, from)
+	case reqDuplicatePending:
+		e.replyPending(p, from)
+	case reqStale:
+		e.stats.DroppedStale++
+	case reqNew:
+		if !e.completeSeg(p, from) {
+			return
+		}
+		port.acceptRequest(p.Src, p.TxID, p.Msg, from)
+	}
+}
+
+// deliverReply handles an arriving KReply.
+func (e *Engine) deliverReply(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
+	lh := p.Dst.LH()
+	if !e.res.LHResident(lh) {
+		if fwd, ok := e.forward[lh]; ok {
+			e.stats.Forwarded++
+			e.emit(p, fwd)
+			return
+		}
+		e.stats.DroppedStale++
+		return
+	}
+	if e.res.Frozen(lh) {
+		// §3.1.3: replies to a frozen logical host are discarded; the
+		// migrated process's continued retransmission will recover the
+		// reply from the replier's cache after unfreezing.
+		e.stats.DroppedFrozen++
+		return
+	}
+	port := e.ports[p.Dst]
+	if port == nil || port.send == nil || port.send.done || port.send.txid != p.TxID {
+		return // duplicate or stale reply
+	}
+	if !e.completeSeg(p, from) {
+		return
+	}
+	port.completeSend(p.Msg)
+}
+
+// replyPending emits a reply-pending packet for the given request.
+func (e *Engine) replyPending(p *packet.Packet, from ethernet.MAC) {
+	e.stats.ReplyPendings++
+	out := &packet.Packet{Kind: packet.KReplyPending, TxID: p.TxID, Src: p.Dst, Dst: p.Src}
+	if from == e.nic.MAC() {
+		e.emitLocal(out)
+	} else {
+		e.emit(out, from)
+	}
+}
+
+// noProc tells the sender the destination does not exist.
+func (e *Engine) noProc(p *packet.Packet, from ethernet.MAC) {
+	out := &packet.Packet{Kind: packet.KNoProc, TxID: p.TxID, Src: p.Dst, Dst: p.Src}
+	if from == e.nic.MAC() {
+		e.emitLocal(out)
+	} else {
+		e.emit(out, from)
+	}
+}
+
+// route decides where a destination PID currently lives. ok=false means a
+// locate was broadcast and the caller should rely on retransmission.
+func (e *Engine) route(dst vid.PID) (mac ethernet.MAC, local, ok bool) {
+	lh := dst.LH()
+	if dst.IsGroup() {
+		return ethernet.Broadcast, false, true
+	}
+	if e.res.LHResident(lh) {
+		return e.nic.MAC(), true, true
+	}
+	if m, hit := e.cache[lh]; hit {
+		return m, false, true
+	}
+	e.stats.Locates++
+	e.emit(&packet.Packet{Kind: packet.KLocateReq, LH: lh}, ethernet.Broadcast)
+	return 0, false, false
+}
+
+// SetForward installs a forwarding address for a migrated-away logical
+// host (the Demos/MP comparator). Pass the zero MAC to clear.
+func (e *Engine) SetForward(lh vid.LHID, mac ethernet.MAC) {
+	if mac == 0 {
+		delete(e.forward, lh)
+		return
+	}
+	e.forward[lh] = mac
+}

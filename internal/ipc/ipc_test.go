@@ -1,0 +1,627 @@
+package ipc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vsystem/internal/cpu"
+	"vsystem/internal/ethernet"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// fakeHost is a minimal kernel stand-in: a table of resident logical hosts,
+// freeze flags, well-known index mappings and group memberships.
+type fakeHost struct {
+	eng      *Engine
+	resident map[vid.LHID]bool
+	frozen   map[vid.LHID]bool
+	wk       map[vid.LHID]map[uint16]vid.PID
+	groups   map[vid.PID][]vid.PID
+}
+
+func (h *fakeHost) LHResident(lh vid.LHID) bool { return h.resident[lh] }
+func (h *fakeHost) Frozen(lh vid.LHID) bool     { return h.frozen[lh] }
+func (h *fakeHost) WellKnown(lh vid.LHID, idx uint16) (vid.PID, bool) {
+	m := h.wk[lh]
+	if m == nil {
+		return vid.Nil, false
+	}
+	p, ok := m[idx]
+	return p, ok
+}
+func (h *fakeHost) GroupMembers(g vid.PID) []vid.PID { return h.groups[g] }
+
+func (h *fakeHost) DeferWhenFrozen(vid.PID, uint16) bool { return true }
+
+type rig struct {
+	sim   *sim.Engine
+	bus   *ethernet.Bus
+	hosts []*fakeHost
+}
+
+func newRig(t *testing.T, n int, seed int64) *rig {
+	t.Helper()
+	se := sim.NewEngine(seed)
+	bus := ethernet.NewBus(se)
+	r := &rig{sim: se, bus: bus}
+	for i := 0; i < n; i++ {
+		nic := bus.Attach(ethernet.MAC(i + 1))
+		h := &fakeHost{
+			resident: make(map[vid.LHID]bool),
+			frozen:   make(map[vid.LHID]bool),
+			wk:       make(map[vid.LHID]map[uint16]vid.PID),
+			groups:   make(map[vid.PID][]vid.PID),
+		}
+		h.eng = New(se, nic, cpu.New(se), h)
+		r.hosts = append(r.hosts, h)
+	}
+	return r
+}
+
+// place makes a logical host resident on host i.
+func (r *rig) place(lh vid.LHID, i int) { r.hosts[i].resident[lh] = true }
+
+const testOp = 77
+
+// echoServer runs a port answering every request by incrementing W[0].
+func echoServer(se *sim.Engine, p *Port) {
+	se.Spawn("echo", func(t *sim.Task) {
+		for {
+			r := p.Receive(t)
+			m := r.Msg
+			m.W[0]++
+			p.Reply(t, r, m)
+		}
+	})
+}
+
+func TestRemoteSendReceiveReply(t *testing.T) {
+	r := newRig(t, 2, 1)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+
+	var got vid.Message
+	var err error
+	var rtt time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		got, err = client.Send(tk, server.PID(), vid.Message{Op: testOp, W: [6]uint32{41}})
+		rtt = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got.W[0] != 42 {
+		t.Fatalf("reply W0 = %d, want 42", got.W[0])
+	}
+	// First send needs a locate; even so the transaction should complete in
+	// well under one retransmit interval... plus locate adds one interval.
+	if rtt > 500*time.Millisecond {
+		t.Fatalf("rtt = %v, too slow", rtt)
+	}
+}
+
+func TestLocateResolvesUnknownBinding(t *testing.T) {
+	r := newRig(t, 3, 2)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 2)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[2].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+	ok := false
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		_, err := client.Send(tk, server.PID(), vid.Message{Op: testOp})
+		ok = err == nil
+	})
+	r.sim.RunFor(5 * time.Second)
+	if !ok {
+		t.Fatal("send did not complete")
+	}
+	if r.hosts[0].eng.Stats().Locates == 0 {
+		t.Fatal("no locate was broadcast")
+	}
+	if mac, hit := r.hosts[0].eng.CacheLookup(lhB); !hit || mac != 3 {
+		t.Fatalf("cache entry = %v,%v, want mac 3", mac, hit)
+	}
+}
+
+func TestSlowServerReplyPendingPreventsAbort(t *testing.T) {
+	r := newRig(t, 2, 3)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	// Server takes 8 s to answer — far beyond AbortAfterRetries *
+	// RetransmitInterval (5 s) — so only reply-pending packets keep the
+	// client alive.
+	r.sim.Spawn("slow", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		tk.Sleep(8 * time.Second)
+		m := req.Msg
+		m.W[0] = 99
+		server.Reply(tk, req, m)
+	})
+	var err error
+	var got vid.Message
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, server.PID(), vid.Message{Op: testOp})
+	})
+	r.sim.RunFor(20 * time.Second)
+	if err != nil {
+		t.Fatalf("client aborted: %v", err)
+	}
+	if got.W[0] != 99 {
+		t.Fatalf("W0 = %d", got.W[0])
+	}
+	if r.hosts[1].eng.Stats().ReplyPendings == 0 {
+		t.Fatal("no reply-pending packets were sent")
+	}
+}
+
+func TestSendToMissingHostTimesOut(t *testing.T) {
+	r := newRig(t, 2, 4)
+	lhA := vid.LHID(10)
+	r.place(lhA, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	var err error
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		_, err = client.Send(tk, vid.NewPID(99, 16), vid.Message{Op: testOp})
+	})
+	r.sim.RunFor(60 * time.Second)
+	if err == nil {
+		t.Fatal("send to missing host succeeded")
+	}
+	if ce, ok := err.(vid.CodeError); !ok || uint16(ce) != vid.CodeTimeout {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+func TestSendToDeadProcessFailsFast(t *testing.T) {
+	r := newRig(t, 2, 5)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	var err error
+	var elapsed time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		_, err = client.Send(tk, vid.NewPID(lhB, 44), vid.Message{Op: testOp})
+		elapsed = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(30 * time.Second)
+	if ce, ok := err.(vid.CodeError); !ok || uint16(ce) != vid.CodeNoProcess {
+		t.Fatalf("err = %v, want no-process", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("no-process took %v", elapsed)
+	}
+}
+
+func TestBulkSegmentTransferRate(t *testing.T) {
+	r := newRig(t, 2, 6)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	seg := make([]byte, 32*1024)
+	for i := range seg {
+		seg[i] = byte(i * 7)
+	}
+	var rx []byte
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		rx = req.Msg.Seg
+		server.Reply(tk, req, vid.Message{})
+	})
+	var err error
+	var elapsed time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		_, err = client.Send(tk, server.PID(), vid.Message{Op: testOp, Seg: seg})
+		elapsed = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rx, seg) {
+		t.Fatal("segment corrupted in transit")
+	}
+	// Calibration target: ≈3 ms per KB (the paper's 3 s/Mbyte), so 32 KB
+	// in roughly 96 ms; allow for the locate and handshake overheads.
+	if elapsed < 80*time.Millisecond || elapsed > 160*time.Millisecond {
+		t.Fatalf("32KB transfer took %v, want ≈100ms", elapsed)
+	}
+}
+
+func TestBulkTransferSurvivesLoss(t *testing.T) {
+	r := newRig(t, 2, 7)
+	r.bus.SetLoss(ethernet.RandomLoss(r.sim, 0.1))
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	seg := make([]byte, 16*1024)
+	for i := range seg {
+		seg[i] = byte(i)
+	}
+	var rx []byte
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		rx = req.Msg.Seg
+		server.Reply(tk, req, vid.Message{})
+	})
+	var err error
+	done := false
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		_, err = client.Send(tk, server.PID(), vid.Message{Op: testOp, Seg: seg})
+		done = true
+	})
+	r.sim.RunFor(60 * time.Second)
+	if !done || err != nil {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	if !bytes.Equal(rx, seg) {
+		t.Fatal("segment corrupted under loss")
+	}
+}
+
+func TestSmallMessagesSurviveHeavyLoss(t *testing.T) {
+	r := newRig(t, 2, 8)
+	r.bus.SetLoss(ethernet.RandomLoss(r.sim, 0.3))
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+	okCount := 0
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		for i := 0; i < 20; i++ {
+			m, err := client.Send(tk, server.PID(), vid.Message{Op: testOp, W: [6]uint32{uint32(i)}})
+			if err == nil && m.W[0] == uint32(i)+1 {
+				okCount++
+			}
+		}
+	})
+	r.sim.RunFor(5 * time.Minute)
+	if okCount != 20 {
+		t.Fatalf("only %d/20 transactions completed under 30%% loss", okCount)
+	}
+}
+
+func TestNonIdempotentOpExecutedOnce(t *testing.T) {
+	r := newRig(t, 2, 9)
+	// Heavy loss forces duplicate requests.
+	r.bus.SetLoss(ethernet.RandomLoss(r.sim, 0.4))
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	executions := 0
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		for {
+			req := server.Receive(tk)
+			executions++
+			server.Reply(tk, req, req.Msg)
+		}
+	})
+	completed := 0
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		for i := 0; i < 10; i++ {
+			if _, err := client.Send(tk, server.PID(), vid.Message{Op: testOp}); err == nil {
+				completed++
+			}
+		}
+	})
+	r.sim.RunFor(5 * time.Minute)
+	if completed != 10 {
+		t.Fatalf("completed %d/10", completed)
+	}
+	if executions != 10 {
+		t.Fatalf("server executed %d ops for 10 transactions (duplicates ran)", executions)
+	}
+}
+
+func TestFrozenDestinationDefersRequest(t *testing.T) {
+	r := newRig(t, 2, 10)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+	r.hosts[1].frozen[lhB] = true
+	var err error
+	var done sim.Time
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		_, err = client.Send(tk, server.PID(), vid.Message{Op: testOp})
+		done = tk.Now()
+	})
+	// Unfreeze after 10 s — past the plain abort horizon.
+	r.sim.After(10*time.Second, func() { r.hosts[1].frozen[lhB] = false })
+	r.sim.RunFor(30 * time.Second)
+	if err != nil {
+		t.Fatalf("send aborted despite reply-pending: %v", err)
+	}
+	if done < sim.Time(10*time.Second) {
+		t.Fatalf("send completed at %v, before unfreeze", done)
+	}
+	if r.hosts[1].eng.Stats().DroppedFrozen == 0 {
+		t.Fatal("no requests were deferred")
+	}
+}
+
+func TestReplyToFrozenSenderRecoveredFromCache(t *testing.T) {
+	r := newRig(t, 2, 11)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		// Freeze the client's logical host before replying, so the reply
+		// is discarded at the client host (§3.1.3).
+		r.hosts[0].frozen[lhA] = true
+		m := req.Msg
+		m.W[0] = 7
+		server.Reply(tk, req, m)
+	})
+	var err error
+	var got vid.Message
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, server.PID(), vid.Message{Op: testOp})
+	})
+	r.sim.After(5*time.Second, func() { r.hosts[0].frozen[lhA] = false })
+	r.sim.RunFor(30 * time.Second)
+	if err != nil {
+		t.Fatalf("send failed: %v", err)
+	}
+	if got.W[0] != 7 {
+		t.Fatalf("W0 = %d, want 7", got.W[0])
+	}
+	if r.hosts[0].eng.Stats().DroppedFrozen == 0 {
+		t.Fatal("reply was not discarded while frozen")
+	}
+	if r.hosts[1].eng.Stats().RepliesFromCache == 0 {
+		t.Fatal("reply was not recovered from the reply cache")
+	}
+}
+
+func TestGroupSendFirstReplyWins(t *testing.T) {
+	r := newRig(t, 4, 12)
+	group := vid.GroupProgramManagers
+	lhA := vid.LHID(10)
+	r.place(lhA, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	// Members on hosts 1..3 with varying response delays.
+	delays := []time.Duration{30 * time.Millisecond, 5 * time.Millisecond, 60 * time.Millisecond}
+	for i := 1; i < 4; i++ {
+		lh := vid.LHID(20 + i)
+		r.place(lh, i)
+		p := r.hosts[i].eng.NewPort(vid.NewPID(lh, 16))
+		r.hosts[i].groups[group] = []vid.PID{p.PID()}
+		d := delays[i-1]
+		id := uint32(i)
+		r.sim.Spawn("member", func(tk *sim.Task) {
+			for {
+				req := p.Receive(tk)
+				tk.Sleep(d)
+				m := req.Msg
+				m.W[0] = id
+				p.Reply(tk, req, m)
+			}
+		})
+	}
+	var got vid.Message
+	var err error
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, group, vid.Message{Op: testOp})
+	})
+	r.sim.RunFor(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W[0] != 2 {
+		t.Fatalf("winner = host %d, want host 2 (fastest)", got.W[0])
+	}
+}
+
+func TestGroupSendNoMembersTimesOutQuickly(t *testing.T) {
+	r := newRig(t, 2, 13)
+	lhA := vid.LHID(10)
+	r.place(lhA, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	var err error
+	var elapsed time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		_, err = client.Send(tk, vid.GroupProgramManagers, vid.Message{Op: testOp})
+		elapsed = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(30 * time.Second)
+	if err == nil {
+		t.Fatal("group send with no members succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("group abort took %v", elapsed)
+	}
+}
+
+func TestWellKnownIndexResolution(t *testing.T) {
+	r := newRig(t, 2, 14)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	// "Kernel server" of host 1, addressed via lhB's well-known index.
+	ksPID := vid.NewPID(999, 16)
+	r.hosts[1].resident[999] = true
+	ks := r.hosts[1].eng.NewPort(ksPID)
+	r.hosts[1].wk[lhB] = map[uint16]vid.PID{vid.IdxKernelServer: ksPID}
+	echoServer(r.sim, ks)
+	var err error
+	var got vid.Message
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, vid.NewPID(lhB, vid.IdxKernelServer), vid.Message{Op: testOp, W: [6]uint32{5}})
+	})
+	r.sim.RunFor(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W[0] != 6 {
+		t.Fatalf("W0 = %d", got.W[0])
+	}
+}
+
+func TestPortStateMigration(t *testing.T) {
+	r := newRig(t, 3, 15)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0) // client's LH starts on host 0
+	r.place(lhB, 2) // server
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[2].eng.NewPort(vid.NewPID(lhB, 16))
+	// The server replies only after the client's LH has "migrated".
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		tk.Sleep(3 * time.Second)
+		m := req.Msg
+		m.W[0] = 123
+		server.Reply(tk, req, m)
+	})
+
+	var got vid.Message
+	var err error
+	replied := make(chan struct{}) // unused: determinism note — not used
+	_ = replied
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		client.StartSend(tk, server.PID(), vid.Message{Op: testOp})
+		// Simulate migration at 1 s: freeze, snapshot, move to host 1.
+		tk.Sleep(time.Second)
+		r.hosts[0].frozen[lhA] = true
+		st := client.Snapshot()
+		client.Close()
+		r.hosts[0].resident[lhA] = false
+		r.hosts[0].frozen[lhA] = false
+		r.hosts[1].resident[lhA] = true
+		client = r.hosts[1].eng.RestorePort(st, true)
+		r.hosts[1].eng.BroadcastBinding(lhA)
+		got, err = client.AwaitReply(tk)
+	})
+	r.sim.RunFor(60 * time.Second)
+	if err != nil {
+		t.Fatalf("migrated send failed: %v", err)
+	}
+	if got.W[0] != 123 {
+		t.Fatalf("W0 = %d", got.W[0])
+	}
+}
+
+func TestServingRequestMigratesWithPort(t *testing.T) {
+	r := newRig(t, 3, 16)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0) // client
+	r.place(lhB, 1) // server that will migrate to host 2
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+
+	r.sim.Spawn("server", func(tk *sim.Task) {
+		req := server.Receive(tk)
+		// Mid-service migration: freeze, snapshot (including the current
+		// request), restore on host 2, reply from there.
+		r.hosts[1].frozen[lhB] = true
+		st := server.Snapshot()
+		server.Close()
+		r.hosts[1].resident[lhB] = false
+		r.hosts[1].frozen[lhB] = false
+		r.hosts[2].resident[lhB] = true
+		server = r.hosts[2].eng.RestorePort(st, true)
+		r.hosts[2].eng.BroadcastBinding(lhB)
+		tk.Sleep(100 * time.Millisecond)
+		// The open request migrated in the port state; re-derive the
+		// handle on the restored port.
+		req2 := server.OpenRequest(req.Src)
+		m := req.Msg
+		m.W[0] = 55
+		server.Reply(tk, req2, m)
+	})
+	var got vid.Message
+	var err error
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, server.PID(), vid.Message{Op: testOp})
+	})
+	r.sim.RunFor(60 * time.Second)
+	if err != nil {
+		t.Fatalf("send failed: %v", err)
+	}
+	if got.W[0] != 55 {
+		t.Fatalf("W0 = %d", got.W[0])
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	r := newRig(t, 1, 17)
+	lhA, lhB := vid.LHID(10), vid.LHID(11)
+	r.place(lhA, 0)
+	r.place(lhB, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[0].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+	var err error
+	var got vid.Message
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		got, err = client.Send(tk, server.PID(), vid.Message{Op: testOp, W: [6]uint32{1}})
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err != nil || got.W[0] != 2 {
+		t.Fatalf("local send: %v %v", got, err)
+	}
+	st := r.hosts[0].eng.Stats()
+	if st.LocalDeliveries == 0 {
+		t.Fatal("no local deliveries recorded")
+	}
+	if st.TxPackets != 0 {
+		t.Fatalf("local transaction used the wire: %d packets", st.TxPackets)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (int64, sim.Time) {
+		r := newRig(t, 3, 42)
+		r.bus.SetLoss(ethernet.RandomLoss(r.sim, 0.05))
+		lhA, lhB := vid.LHID(10), vid.LHID(20)
+		r.place(lhA, 0)
+		r.place(lhB, 1)
+		client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+		server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+		echoServer(r.sim, server)
+		var finished sim.Time
+		r.sim.Spawn("client", func(tk *sim.Task) {
+			for i := 0; i < 10; i++ {
+				client.Send(tk, server.PID(), vid.Message{Op: testOp, Seg: make([]byte, 4096)})
+			}
+			finished = tk.Now()
+		})
+		r.sim.RunFor(2 * time.Minute)
+		return r.bus.Stats().Frames, finished
+	}
+	f1, t1 := run()
+	f2, t2 := run()
+	if f1 != f2 || t1 != t2 {
+		t.Fatalf("replay diverged: frames %d/%d, finish %v/%v", f1, f2, t1, t2)
+	}
+}

@@ -1,0 +1,448 @@
+package ipc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/packet"
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Port is one process's attachment to the IPC engine: the kernel-side state
+// of its current send transaction and its incoming-request queue. All
+// blocking calls take the process's task.
+//
+// V semantics: a process has at most one outstanding Send (it blocks
+// awaiting the reply), and serves requests one at a time — Receive then
+// Reply. The port survives the process's migration as serializable state
+// (see Snapshot/RestorePort).
+type Port struct {
+	eng *Engine
+	pid vid.PID
+
+	txSeq     uint32
+	send      *sendTxn
+	replyWait sim.WaitQ
+
+	rq      []*Req
+	open    map[vid.PID]*Req // received, not yet replied; one per sender
+	reqWait sim.WaitQ
+
+	lastFrom   map[vid.PID]uint32
+	replyCache map[vid.PID]*cachedReply
+	closed     bool
+}
+
+type sendTxn struct {
+	txid   uint32
+	dst    vid.PID
+	msg    vid.Message
+	group  bool
+	done   bool
+	reply  vid.Message
+	code   uint16 // failure code when done && code != OK
+	silent int    // retransmissions since last evidence of life
+	timer  *sim.Timer
+}
+
+// Req is a received request awaiting its reply. Servers that defer replies
+// (for example the program manager holding a wait-for-program-exit request)
+// hold several Reqs open at once, one per sender.
+type Req struct {
+	Src  vid.PID
+	Msg  vid.Message
+	txid uint32
+	from ethernet.MAC
+}
+
+type cachedReply struct {
+	txid    uint32
+	msg     vid.Message
+	expires sim.Time
+}
+
+// NewPort registers a port for the given PID. The PID's index must be a
+// concrete process index (well-known indices are aliases resolved by the
+// kernel, not real ports) unless the port is a host server registered by
+// the kernel itself.
+func (e *Engine) NewPort(pid vid.PID) *Port {
+	if _, dup := e.ports[pid]; dup {
+		panic(fmt.Sprintf("ipc: duplicate port %v", pid))
+	}
+	p := &Port{
+		eng:        e,
+		pid:        pid,
+		open:       make(map[vid.PID]*Req),
+		lastFrom:   make(map[vid.PID]uint32),
+		replyCache: make(map[vid.PID]*cachedReply),
+	}
+	e.ports[pid] = p
+	e.portList = append(e.portList, p)
+	return p
+}
+
+// Close unregisters the port and stops its timers. Any queued requests are
+// discarded; senders recover by retransmission (§3.1.3: "all queued
+// messages are discarded and the remote senders are prompted to
+// retransmit").
+func (p *Port) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.send != nil && p.send.timer != nil {
+		p.send.timer.Stop()
+	}
+	delete(p.eng.ports, p.pid)
+	for i, q := range p.eng.portList {
+		if q == p {
+			p.eng.portList = append(p.eng.portList[:i], p.eng.portList[i+1:]...)
+			break
+		}
+	}
+}
+
+// PID returns the port's process identifier.
+func (p *Port) PID() vid.PID { return p.pid }
+
+// --------------------------------------------------------------- sending
+
+// StartSend begins a message transaction to dst without waiting for the
+// reply. The calling task is charged for any bulk fragmentation. A port
+// has at most one outstanding send.
+func (p *Port) StartSend(t *sim.Task, dst vid.PID, msg vid.Message) {
+	if p.send != nil {
+		panic(fmt.Sprintf("ipc: %v StartSend with send outstanding", p.pid))
+	}
+	if dst.IsGroup() && len(msg.Seg) > packet.InlineSegMax {
+		panic("ipc: group send with fragmented segment")
+	}
+	if len(msg.Seg) > vid.SegMax {
+		panic(fmt.Sprintf("ipc: segment %d exceeds SegMax", len(msg.Seg)))
+	}
+	p.txSeq++
+	s := &sendTxn{txid: p.txSeq, dst: dst, msg: msg, group: dst.IsGroup()}
+	p.send = s
+	p.transmitOn(t, false)
+	p.armTimer()
+}
+
+// armTimer schedules the retransmission/abort timer for the current send.
+func (p *Port) armTimer() {
+	s := p.send
+	s.timer = p.eng.sim.After(params.RetransmitInterval, func() { p.tick(s) })
+}
+
+// tick is one retransmission interval elapsing with no completion.
+func (p *Port) tick(s *sendTxn) {
+	if p.send != s || s.done || p.closed {
+		return
+	}
+	s.silent++
+	limit := params.AbortAfterRetries
+	if s.group {
+		limit = params.GroupAbortAfterRetries
+	}
+	if s.silent > limit {
+		p.failSend(s.txid, vid.CodeTimeout)
+		return
+	}
+	if s.silent >= params.LocateAfterRetries && !s.group && !s.dst.IsGroup() && !p.eng.NoRebind {
+		// §3.1.4: after a small number of unanswered retransmissions the
+		// cache entry for the logical host is invalidated and the
+		// reference is re-derived by broadcast.
+		p.eng.InvalidateCache(s.dst.LH())
+	}
+	p.eng.stats.Retransmits++
+	p.retransmit()
+	p.armTimer()
+}
+
+// retransmit re-sends the current request via the network daemon.
+func (p *Port) retransmit() {
+	s := p.send
+	if s == nil || s.done {
+		return
+	}
+	p.eng.jobs.Push(job{fn: func(t *sim.Task) {
+		if p.send == s && !s.done && !p.closed {
+			p.transmitOn(t, true)
+		}
+	}})
+}
+
+// transmitOn routes and transmits the current request. retrans indicates a
+// retransmission, for which a fragmented segment resends only its summary
+// (the receiver NACKs any missing fragments).
+func (p *Port) transmitOn(t *sim.Task, retrans bool) {
+	s := p.send
+	pkt := &packet.Packet{Kind: packet.KRequest, TxID: s.txid, Src: p.pid, Dst: s.dst, Msg: s.msg}
+	if s.group {
+		// Wire broadcast plus fan-out to local members.
+		p.eng.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
+		p.eng.transmitFrame(t, pkt, ethernet.Broadcast, false)
+		local := *pkt
+		p.eng.emitLocal(&local)
+		return
+	}
+	mac, local, ok := p.eng.route(s.dst)
+	if !ok {
+		return // locate broadcast in flight; retry on next tick
+	}
+	if local {
+		cp := *pkt
+		p.eng.emitLocal(&cp)
+		return
+	}
+	key := reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest}
+	if fs := p.eng.txBuf[key]; fs != nil && retrans {
+		fs.dst = mac
+		p.eng.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
+		p.eng.transmitFrame(t, fs.summary, mac, false)
+		return
+	}
+	if packet.NumFrags(len(s.msg.Seg)) > 0 {
+		p.eng.sendFragged(t, pkt, mac)
+		return
+	}
+	p.eng.sendNow(t, pkt, mac)
+}
+
+// AwaitReply blocks until the outstanding send completes, returning the
+// reply message. On failure the error is a vid.CodeError (timeout,
+// no-process, aborted).
+func (p *Port) AwaitReply(t *sim.Task) (vid.Message, error) {
+	s := p.send
+	if s == nil {
+		panic(fmt.Sprintf("ipc: %v AwaitReply without send", p.pid))
+	}
+	for !s.done {
+		p.replyWait.Wait(t)
+	}
+	p.send = nil
+	if s.code != vid.CodeOK {
+		return vid.Message{}, vid.CodeError(s.code)
+	}
+	return s.reply, nil
+}
+
+// Sending reports whether a send transaction is outstanding.
+func (p *Port) Sending() bool { return p.send != nil }
+
+// Send performs a complete blocking message transaction.
+func (p *Port) Send(t *sim.Task, dst vid.PID, msg vid.Message) (vid.Message, error) {
+	p.StartSend(t, dst, msg)
+	return p.AwaitReply(t)
+}
+
+// completeSend records the reply and wakes the sender.
+func (p *Port) completeSend(msg vid.Message) {
+	s := p.send
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.reply = msg
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
+	p.replyWait.WakeAll()
+}
+
+// failSend aborts the matching transaction with the given code.
+func (p *Port) failSend(txid uint32, code uint16) {
+	s := p.send
+	if s == nil || s.done || s.txid != txid {
+		return
+	}
+	s.done = true
+	s.code = code
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
+	p.replyWait.WakeAll()
+}
+
+// notePending resets the abort countdown: the destination is alive but not
+// ready (busy, queued, or frozen). Group transactions ignore reply-pending:
+// a member that received the query but declined to answer must not keep
+// the sender waiting past its group timeout.
+func (p *Port) notePending(txid uint32) {
+	if s := p.send; s != nil && !s.done && s.txid == txid && !s.group {
+		s.silent = 0
+	}
+}
+
+// -------------------------------------------------------------- receiving
+
+type reqClass int
+
+const (
+	reqNew reqClass = iota
+	reqDuplicatePending
+	reqDuplicateReplied
+	reqStale
+)
+
+// classify decides how to treat an arriving request relative to what this
+// port has already seen from the sender.
+func (p *Port) classify(src vid.PID, txid uint32) reqClass {
+	last, seen := p.lastFrom[src]
+	if !seen || txid > last {
+		return reqNew
+	}
+	if txid == last {
+		if c := p.replyCache[src]; c != nil && c.txid == txid {
+			return reqDuplicateReplied
+		}
+		return reqDuplicatePending
+	}
+	return reqStale
+}
+
+// acceptRequest queues a new request and wakes a receiver.
+func (p *Port) acceptRequest(src vid.PID, txid uint32, msg vid.Message, from ethernet.MAC) {
+	p.lastFrom[src] = txid
+	p.rq = append(p.rq, &Req{Src: src, txid: txid, Msg: msg, from: from})
+	p.reqWait.WakeOne()
+}
+
+// resendCachedReply answers a duplicate request from the reply cache. The
+// retention timeout is reset: a retransmitting sender (for example one
+// frozen mid-migration, §3.1.3) keeps the reply alive until it can accept
+// it.
+func (p *Port) resendCachedReply(src vid.PID, from ethernet.MAC) {
+	c := p.replyCache[src]
+	if c == nil {
+		return
+	}
+	c.expires = p.eng.sim.Now().Add(params.ReplyCacheTTL)
+	p.scheduleCacheSweep(src, c)
+	p.eng.jobs.Push(job{fn: func(t *sim.Task) {
+		p.emitReply(t, src, c.txid, c.msg, from)
+	}})
+}
+
+// scheduleCacheSweep arranges removal of a cache entry at its (renewable)
+// expiry.
+func (p *Port) scheduleCacheSweep(src vid.PID, c *cachedReply) {
+	now := p.eng.sim.Now()
+	p.eng.sim.After(c.expires.Sub(now), func() {
+		if p.replyCache[src] != c {
+			return
+		}
+		if p.eng.sim.Now() >= c.expires {
+			delete(p.replyCache, src)
+			return
+		}
+		p.scheduleCacheSweep(src, c)
+	})
+}
+
+// Receive blocks until a request arrives. The request stays open (further
+// retransmissions from its sender get reply-pending packets) until Reply.
+func (p *Port) Receive(t *sim.Task) *Req {
+	for len(p.rq) == 0 {
+		p.reqWait.Wait(t)
+	}
+	return p.take()
+}
+
+// ReceiveTimeout is Receive with a deadline; nil if it expired.
+func (p *Port) ReceiveTimeout(t *sim.Task, d time.Duration) *Req {
+	deadline := t.Now().Add(d)
+	for len(p.rq) == 0 {
+		remain := deadline.Sub(t.Now())
+		if remain <= 0 {
+			return nil
+		}
+		if p.reqWait.WaitTimeout(t, remain) == sim.WakeTimeout && len(p.rq) == 0 {
+			return nil
+		}
+	}
+	return p.take()
+}
+
+func (p *Port) take() *Req {
+	r := p.rq[0]
+	p.rq = p.rq[1:]
+	p.open[r.Src] = r
+	return r
+}
+
+// Pending reports the number of queued (unreceived) requests.
+func (p *Port) Pending() int { return len(p.rq) }
+
+// Serving reports whether any received request awaits its Reply.
+func (p *Port) Serving() bool { return len(p.open) > 0 }
+
+// Reply completes a received request. The reply is cached so duplicate
+// retransmissions (including from a sender recovering after migration) can
+// be answered without re-executing the operation.
+func (p *Port) Reply(t *sim.Task, r *Req, msg vid.Message) {
+	if p.open[r.Src] == r {
+		delete(p.open, r.Src)
+	}
+	if last := p.lastFrom[r.Src]; last == r.txid {
+		c := &cachedReply{txid: r.txid, msg: msg, expires: t.Now().Add(params.ReplyCacheTTL)}
+		p.replyCache[r.Src] = c
+		p.scheduleCacheSweep(r.Src, c)
+	}
+	p.emitReply(t, r.Src, r.txid, msg, r.from)
+}
+
+// emitReply routes and transmits a reply.
+func (p *Port) emitReply(t *sim.Task, dst vid.PID, txid uint32, msg vid.Message, lastFrom ethernet.MAC) {
+	pkt := &packet.Packet{Kind: packet.KReply, TxID: txid, Src: p.pid, Dst: dst, Msg: msg}
+	mac, local, ok := p.eng.route(dst)
+	if !ok {
+		// Sender location unknown (it migrated and our cache was
+		// invalidated): fall back to where the request came from; a
+		// duplicate request will refresh the route.
+		mac = lastFrom
+		local = mac == p.eng.nic.MAC()
+	}
+	if local {
+		cp := *pkt
+		p.eng.emitLocal(&cp)
+		return
+	}
+	if packet.NumFrags(len(msg.Seg)) > 0 {
+		p.eng.sendFragged(t, pkt, mac)
+		return
+	}
+	p.eng.sendNow(t, pkt, mac)
+}
+
+// OpenRequest returns the open (received, unreplied) request from the given
+// sender, if any. Used after a port restore to re-derive request handles.
+func (p *Port) OpenRequest(src vid.PID) *Req { return p.open[src] }
+
+// Drop abandons a received request without replying — a group member
+// declining to answer a group query (host selection expects only willing
+// hosts to respond, §2.1). The sender completes via another member's reply
+// or aborts on its group timeout; duplicates of the dropped request are
+// answered with reply-pending.
+func (p *Port) Drop(r *Req) {
+	if p.open[r.Src] == r {
+		delete(p.open, r.Src)
+	}
+}
+
+// OpenRequests returns all open (received, unreplied) requests, ordered by
+// sender for determinism. A restored server body uses this to finish
+// requests that were mid-service when its logical host migrated.
+func (p *Port) OpenRequests() []*Req {
+	out := make([]*Req, 0, len(p.open))
+	for _, r := range p.open {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Src < out[j].Src })
+	return out
+}

@@ -1,0 +1,154 @@
+package ipc
+
+import (
+	"fmt"
+	"sort"
+
+	"vsystem/internal/params"
+	"vsystem/internal/vid"
+)
+
+// PortState is the serializable kernel-side IPC state of a process: what
+// migration carries to the new host when it "copies the logical host's
+// state in the kernel server" (§3.1.3).
+//
+// The snapshot deliberately excludes the queue of delivered-but-unreceived
+// requests: the paper discards those on deletion of the old copy and relies
+// on sender retransmission. It includes the in-progress send transaction
+// (so the process keeps retransmitting from its new host and can still
+// collect the reply from the replier's cache), the request currently being
+// served (so its eventual Reply carries the right transaction id), the
+// per-sender duplicate-detection table and the reply cache (so
+// non-idempotent operations are not re-executed when old clients
+// retransmit to the new host).
+type PortState struct {
+	PID   vid.PID
+	TxSeq uint32
+	Send  *SendState
+	Open  []CurState
+	Last  map[vid.PID]uint32
+	Cache map[vid.PID]CachedReplyState
+}
+
+// SendState is an in-progress (or completed-but-unconsumed) send
+// transaction. Done with a reply covers the window where the reply arrived
+// but the blocked process had not yet been resumed when the freeze took
+// effect — the reply migrates with the process.
+type SendState struct {
+	TxID  uint32
+	Dst   vid.PID
+	Msg   vid.Message
+	Group bool
+	Done  bool
+	Code  uint16
+	Reply vid.Message
+}
+
+// CurState is a received request awaiting its reply.
+type CurState struct {
+	Src  vid.PID
+	TxID uint32
+	Msg  vid.Message
+}
+
+// CachedReplyState is one reply-cache entry.
+type CachedReplyState struct {
+	TxID uint32
+	Msg  vid.Message
+}
+
+// Snapshot captures the port's migratable state. The port must belong to a
+// frozen logical host (no concurrent activity); queued requests are
+// dropped per §3.1.3.
+func (p *Port) Snapshot() *PortState {
+	st := &PortState{
+		PID:   p.pid,
+		TxSeq: p.txSeq,
+		Last:  make(map[vid.PID]uint32, len(p.lastFrom)),
+		Cache: make(map[vid.PID]CachedReplyState, len(p.replyCache)),
+	}
+	for k, v := range p.lastFrom {
+		st.Last[k] = v
+	}
+	for k, v := range p.replyCache {
+		st.Cache[k] = CachedReplyState{TxID: v.txid, Msg: v.msg}
+	}
+	if s := p.send; s != nil {
+		st.Send = &SendState{
+			TxID: s.txid, Dst: s.dst, Msg: s.msg, Group: s.group,
+			Done: s.done, Code: s.code, Reply: s.reply,
+		}
+	}
+	for _, r := range p.open {
+		st.Open = append(st.Open, CurState{Src: r.Src, TxID: r.txid, Msg: r.Msg})
+	}
+	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].Src < st.Open[j].Src })
+	return st
+}
+
+// ItemBytes estimates the serialized size of the state (for transfer-cost
+// accounting).
+func (st *PortState) ItemBytes() int {
+	n := 64
+	if st.Send != nil {
+		n += 32 + len(st.Send.Msg.Seg)
+	}
+	for _, c := range st.Open {
+		n += 32 + len(c.Msg.Seg)
+	}
+	n += 8 * len(st.Last)
+	for _, c := range st.Cache {
+		n += 32 + len(c.Msg.Seg)
+	}
+	return n
+}
+
+// RestorePort recreates a port from migrated state. If active is true and a
+// send transaction was outstanding, its retransmission timer is re-armed
+// immediately. During a migration the new copy is restored *quiesced*
+// (active=false): while both copies exist, only the original host acts for
+// the process ("continues to retransmit to its replier periodically",
+// §3.1.3); the new copy's timers start at Activate, called on unfreeze.
+func (e *Engine) RestorePort(st *PortState, active bool) *Port {
+	if _, dup := e.ports[st.PID]; dup {
+		panic(fmt.Sprintf("ipc: restore of existing port %v", st.PID))
+	}
+	p := e.NewPort(st.PID)
+	p.txSeq = st.TxSeq
+	for k, v := range st.Last {
+		p.lastFrom[k] = v
+	}
+	for k, v := range st.Cache {
+		c := &cachedReply{txid: v.TxID, msg: v.Msg, expires: e.sim.Now().Add(params.ReplyCacheTTL)}
+		p.replyCache[k] = c
+		p.scheduleCacheSweep(k, c)
+	}
+	if st.Send != nil {
+		p.send = &sendTxn{
+			txid: st.Send.TxID, dst: st.Send.Dst, msg: st.Send.Msg, group: st.Send.Group,
+			done: st.Send.Done, code: st.Send.Code, reply: st.Send.Reply,
+		}
+		if active {
+			p.Activate()
+		}
+	}
+	for _, c := range st.Open {
+		p.open[c.Src] = &Req{Src: c.Src, txid: c.TxID, Msg: c.Msg, from: e.nic.MAC()}
+	}
+	return p
+}
+
+// Activate starts (or restarts) the retransmission machinery of a restored
+// port: if a send transaction is outstanding it is retransmitted at once
+// and its timer re-armed. Idempotent.
+func (p *Port) Activate() {
+	s := p.send
+	if s == nil || s.done || p.closed {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	p.retransmit()
+	p.armTimer()
+}

@@ -1,0 +1,542 @@
+// Package kernel implements the per-workstation V kernel: logical hosts,
+// processes, address spaces, freeze/unfreeze, and the kernel server.
+//
+// As in the paper (§2.1), a functionally identical kernel runs on every
+// host, providing address spaces, processes within them, and
+// network-transparent IPC. Address spaces and processes are grouped into
+// logical hosts — the unit of migration. The kernel server (well-known
+// local index 1) performs low-level process and memory management; all
+// other services (program manager, file server, display server) are
+// processes outside the kernel.
+package kernel
+
+import (
+	"fmt"
+
+	"vsystem/internal/cpu"
+	"vsystem/internal/ethernet"
+	"vsystem/internal/ipc"
+	"vsystem/internal/mem"
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Host is one workstation (or server machine): kernel state plus the
+// hardware it manages.
+type Host struct {
+	Eng  *sim.Engine
+	Name string
+	// HostIndex is the workstation's position in the cluster; it seeds
+	// the host's logical-host-id allocation range and its MAC.
+	HostIndex int
+	CPU       *cpu.CPU
+	IPC       *ipc.Engine
+	NIC       *ethernet.NIC
+
+	lhs       map[vid.LHID]*LogicalHost
+	nextLH    uint16
+	groups    map[vid.PID][]vid.PID
+	wellKnown map[uint16]vid.PID
+	systemLH  *LogicalHost
+	memFree   uint32
+
+	// MigrationOverhead enables the per-operation frozen check (the
+	// paper's measured 13 µs, §4.1). Disabling it models a kernel built
+	// without migration support, for the overhead ablation.
+	MigrationOverhead bool
+
+	// OnLHEmpty is invoked (if set) when the last process of a
+	// non-system logical host exits; the program manager uses it to tear
+	// the program down and notify waiters.
+	OnLHEmpty func(lh *LogicalHost)
+
+	// Crashed simulates a powered-off workstation: the NIC drops all
+	// traffic and no new work is accepted.
+	crashed bool
+}
+
+// systemReserve is kernel + resident-server memory not available to
+// programs.
+const systemReserve = 256 * 1024
+
+// NewHost boots a workstation kernel attached to the bus. Host indices
+// start at 0; the MAC is index+1 (0 is unused, 0xFFFF is broadcast).
+func NewHost(eng *sim.Engine, bus *ethernet.Bus, index int, name string) *Host {
+	h := &Host{
+		Eng:               eng,
+		Name:              name,
+		HostIndex:         index,
+		CPU:               cpu.New(eng),
+		NIC:               bus.Attach(ethernet.MAC(index + 1)),
+		lhs:               make(map[vid.LHID]*LogicalHost),
+		groups:            make(map[vid.PID][]vid.PID),
+		wellKnown:         make(map[uint16]vid.PID),
+		memFree:           params.WorkstationMemory - systemReserve,
+		MigrationOverhead: true,
+	}
+	h.IPC = ipc.New(eng, h.NIC, h.CPU, (*hostResolver)(h))
+	h.systemLH = h.newLH("system:"+name, false, true)
+	h.startKernelServer()
+	return h
+}
+
+// SystemLH returns the host's system logical host (kernel server, program
+// manager, and other resident servers live in it).
+func (h *Host) SystemLH() *LogicalHost { return h.systemLH }
+
+// MemFree reports memory available for programs, in bytes.
+func (h *Host) MemFree() uint32 { return h.memFree }
+
+// Crashed reports whether the host is simulated as powered off.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// Crash simulates the workstation failing or being rebooted: all logical
+// hosts (including the system one) vanish, their processes die, and the
+// station stops responding to the network. Used by the residual-dependency
+// experiments.
+func (h *Host) Crash() {
+	if h.crashed {
+		return
+	}
+	h.crashed = true
+	for _, lh := range h.lhs {
+		for _, p := range lh.procs {
+			if p.task != nil {
+				p.task.Kill()
+			}
+			p.dead = true
+			if p.port != nil {
+				p.port.Close()
+			}
+		}
+	}
+	h.lhs = make(map[vid.LHID]*LogicalHost)
+	h.NIC.SetRecv(func(ethernet.Frame) {})
+}
+
+// hostResolver adapts Host to ipc.Resolver without exporting the methods
+// on Host itself.
+type hostResolver Host
+
+func (r *hostResolver) LHResident(lh vid.LHID) bool {
+	_, ok := r.lhs[lh]
+	return ok
+}
+
+func (r *hostResolver) Frozen(lh vid.LHID) bool {
+	l, ok := r.lhs[lh]
+	return ok && l.frozen
+}
+
+func (r *hostResolver) WellKnown(lh vid.LHID, idx uint16) (vid.PID, bool) {
+	if _, ok := r.lhs[lh]; !ok {
+		return vid.Nil, false
+	}
+	pid, ok := r.wellKnown[idx]
+	return pid, ok
+}
+
+func (r *hostResolver) GroupMembers(g vid.PID) []vid.PID { return r.groups[g] }
+
+// DeferWhenFrozen implements the §3.1.3 rule: requests that modify a
+// frozen logical host are deferred; read-only kernel-server operations
+// (ping, queries, register/page reads — what a debugger needs on a
+// suspended process) go through.
+func (r *hostResolver) DeferWhenFrozen(dst vid.PID, op uint16) bool {
+	if dst.Index() != vid.IdxKernelServer {
+		return true
+	}
+	switch op {
+	case KsPing, KsQueryLH, KsQueryProcess, KsReadPages:
+		return false
+	}
+	return true
+}
+
+// RegisterWellKnown binds a well-known local index (kernel server, program
+// manager) to a concrete local port.
+func (h *Host) RegisterWellKnown(idx uint16, pid vid.PID) { h.wellKnown[idx] = pid }
+
+// JoinGroup adds a local port to a global process group.
+func (h *Host) JoinGroup(g vid.PID, pid vid.PID) {
+	if !g.IsGroup() {
+		panic("kernel: JoinGroup with non-group id")
+	}
+	h.groups[g] = append(h.groups[g], pid)
+}
+
+// LeaveGroup removes a local port from a group.
+func (h *Host) LeaveGroup(g vid.PID, pid vid.PID) {
+	ms := h.groups[g]
+	for i, m := range ms {
+		if m == pid {
+			h.groups[g] = append(ms[:i], ms[i+1:]...)
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------- logical hosts
+
+// LogicalHost groups address spaces and processes into the unit of
+// migration (§2.1).
+type LogicalHost struct {
+	id     vid.LHID
+	host   *Host
+	name   string
+	guest  bool // remotely executed: processes run at guest priority
+	system bool // hosts the kernel server and resident servers; never migrates
+
+	frozen   bool
+	unfreeze sim.WaitQ
+	exitCode uint32 // exit code of the last process to exit
+
+	procs   map[uint16]*Process
+	spaces  map[uint32]*mem.AddressSpace
+	nextIdx uint16
+	nextSp  uint32
+	memUsed uint32
+}
+
+// newLH allocates a logical host with an id from this host's range
+// (hostIndex in the high byte). LHID allocation is decentralized, like V's.
+func (h *Host) newLH(name string, guest, system bool) *LogicalHost {
+	h.nextLH++
+	id := vid.LHID(uint16(h.HostIndex+1)<<8 | h.nextLH&0xFF)
+	if h.nextLH > 0xFF {
+		panic("kernel: logical-host ids exhausted")
+	}
+	if _, dup := h.lhs[id]; dup {
+		panic("kernel: duplicate LHID")
+	}
+	lh := &LogicalHost{
+		id:      id,
+		host:    h,
+		name:    name,
+		guest:   guest,
+		system:  system,
+		procs:   make(map[uint16]*Process),
+		spaces:  make(map[uint32]*mem.AddressSpace),
+		nextIdx: vid.IdxFirstProcess,
+	}
+	h.lhs[id] = lh
+	return lh
+}
+
+// CreateLH allocates a logical host for a program. guest marks remotely
+// executed programs (scheduled at guest priority).
+func (h *Host) CreateLH(name string, guest bool) *LogicalHost {
+	return h.newLH(name, guest, false)
+}
+
+// LookupLH finds a resident logical host.
+func (h *Host) LookupLH(id vid.LHID) (*LogicalHost, bool) {
+	lh, ok := h.lhs[id]
+	return lh, ok
+}
+
+// LHs returns the resident logical-host ids (unordered).
+func (h *Host) LHs() []*LogicalHost {
+	out := make([]*LogicalHost, 0, len(h.lhs))
+	for _, lh := range h.lhs {
+		out = append(out, lh)
+	}
+	return out
+}
+
+// ID returns the logical host's identifier.
+func (lh *LogicalHost) ID() vid.LHID { return lh.id }
+
+// Name returns the program name the logical host runs.
+func (lh *LogicalHost) Name() string { return lh.name }
+
+// Guest reports whether the logical host was created for a remotely
+// executed program.
+func (lh *LogicalHost) Guest() bool { return lh.guest }
+
+// System reports whether this is the host's system logical host.
+func (lh *LogicalHost) System() bool { return lh.system }
+
+// Frozen reports the freeze state.
+func (lh *LogicalHost) Frozen() bool { return lh.frozen }
+
+// ExitCode returns the exit code of the last process that exited in this
+// logical host (the program's exit status once the host is empty).
+func (lh *LogicalHost) ExitCode() uint32 { return lh.exitCode }
+
+// Host returns the physical host the logical host currently resides on.
+func (lh *LogicalHost) Host() *Host { return lh.host }
+
+// MemUsed returns the memory reserved by the logical host's spaces.
+func (lh *LogicalHost) MemUsed() uint32 { return lh.memUsed }
+
+// CreateSpace allocates an address space of the given size within the
+// logical host, reserving physical memory.
+func (lh *LogicalHost) CreateSpace(size uint32) (*mem.AddressSpace, error) {
+	if size%mem.PageSize != 0 {
+		size += mem.PageSize - size%mem.PageSize
+	}
+	if !lh.system && size > lh.host.memFree {
+		return nil, vid.CodeError(vid.CodeNoMemory)
+	}
+	lh.nextSp++
+	as := mem.NewAddressSpace(lh.nextSp, size)
+	lh.spaces[as.ID] = as
+	if !lh.system {
+		lh.host.memFree -= size
+		lh.memUsed += size
+	}
+	return as, nil
+}
+
+// Space returns an address space by id.
+func (lh *LogicalHost) Space(id uint32) (*mem.AddressSpace, bool) {
+	as, ok := lh.spaces[id]
+	return as, ok
+}
+
+// Spaces returns the logical host's address spaces in id order.
+func (lh *LogicalHost) Spaces() []*mem.AddressSpace {
+	out := make([]*mem.AddressSpace, 0, len(lh.spaces))
+	for id := uint32(1); id <= lh.nextSp; id++ {
+		if as, ok := lh.spaces[id]; ok {
+			out = append(out, as)
+		}
+	}
+	return out
+}
+
+// Procs returns the logical host's processes in index order.
+func (lh *LogicalHost) Procs() []*Process {
+	out := make([]*Process, 0, len(lh.procs))
+	for idx := vid.IdxFirstProcess; idx < lh.nextIdx; idx++ {
+		if p, ok := lh.procs[idx]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Freeze suspends execution of the logical host's processes and defers
+// external interactions (§3.1): the CPU scheduler stops granting them
+// time, incoming requests draw reply-pending packets, and incoming replies
+// are discarded — all enforced by the freeze checks in the CPU gates and
+// the IPC engine.
+func (h *Host) Freeze(lh *LogicalHost) {
+	lh.frozen = true
+}
+
+// Unfreeze resumes the logical host: blocked processes wake, restored
+// processes not yet started are spawned, quiesced ports re-arm their
+// retransmission timers, and (optionally) the new binding is broadcast.
+func (h *Host) Unfreeze(lh *LogicalHost, broadcastBinding bool) {
+	if !lh.frozen {
+		return
+	}
+	lh.frozen = false
+	lh.unfreeze.WakeAll()
+	for _, p := range lh.Procs() {
+		if p.port != nil {
+			p.port.Activate()
+		}
+		if !p.started && !p.dead {
+			h.startProcess(p)
+		}
+	}
+	h.CPU.Kick()
+	if broadcastBinding {
+		h.IPC.BroadcastBinding(lh.id)
+	}
+}
+
+// ChangeLHID relabels a logical host — the step that makes the new copy
+// assume the migrated logical host's identity (§3.1.1, §3.1.3). The
+// processes' PIDs follow automatically because a PID is derived from the
+// logical-host id.
+func (h *Host) ChangeLHID(lh *LogicalHost, final vid.LHID) error {
+	if _, taken := h.lhs[final]; taken {
+		return vid.CodeError(vid.CodeRefused)
+	}
+	delete(h.lhs, lh.id)
+	lh.id = final
+	h.lhs[final] = lh
+	return nil
+}
+
+// DestroyLH deletes a logical host: processes die, ports close (queued
+// messages are discarded; senders re-send to the new copy, §3.1.3), and
+// memory is released.
+func (h *Host) DestroyLH(lh *LogicalHost) {
+	if lh.system {
+		panic("kernel: destroying system logical host")
+	}
+	for _, p := range lh.procs {
+		p.dead = true
+		if p.task != nil {
+			p.task.Kill()
+		}
+		if p.port != nil {
+			p.port.Close()
+		}
+	}
+	lh.procs = make(map[uint16]*Process)
+	h.memFree += lh.memUsed
+	lh.memUsed = 0
+	delete(h.lhs, lh.id)
+}
+
+// ----------------------------------------------------------- processes
+
+// Process is a V process: a thread of control within a logical host,
+// bound to one address space. Its migratable state is the register blob
+// plus its port's IPC state; its code is reconstructed from the body
+// registry on the new host.
+type Process struct {
+	Index    uint16
+	lh       *LogicalHost
+	prio     int
+	bodyKind string
+	regs     Regs
+	spaceID  uint32
+	port     *ipc.Port
+	task     *sim.Task
+	runFn    func(*ProcCtx) // system processes only; overrides bodyKind
+	started  bool
+	dead     bool
+}
+
+// PID returns the process identifier, derived from the current logical
+// host id.
+func (p *Process) PID() vid.PID { return vid.NewPID(p.lh.id, p.Index) }
+
+// LH returns the owning logical host.
+func (p *Process) LH() *LogicalHost { return p.lh }
+
+// Port returns the process's IPC port.
+func (p *Process) Port() *ipc.Port { return p.port }
+
+// Regs returns the process's register blob (mutable).
+func (p *Process) Regs() *Regs { return &p.regs }
+
+// Dead reports whether the process has exited or been destroyed.
+func (p *Process) Dead() bool { return p.dead }
+
+// Started reports whether the process's body has been spawned.
+func (p *Process) Started() bool { return p.started }
+
+// NewProcess creates a process in the logical host, not yet started: as in
+// the paper's program-creation protocol, the newly created process awaits
+// its creator's go-ahead (§2.1). The process's priority is derived from
+// the logical host (guest or local) unless it is a system process.
+func (lh *LogicalHost) NewProcess(spaceID uint32, bodyKind string, regs Regs) *Process {
+	idx := lh.nextIdx
+	lh.nextIdx++
+	prio := params.PrioLocal
+	if lh.guest {
+		prio = params.PrioGuest
+	}
+	if lh.system {
+		prio = params.PrioSystem
+	}
+	p := &Process{
+		Index:    idx,
+		lh:       lh,
+		prio:     prio,
+		bodyKind: bodyKind,
+		regs:     regs,
+		spaceID:  spaceID,
+	}
+	p.port = lh.host.IPC.NewPort(p.PID())
+	lh.procs[idx] = p
+	return p
+}
+
+// restoreProcess recreates a migrated process from kernel state; its port
+// is restored separately.
+func (lh *LogicalHost) restoreProcess(st ProcState) *Process {
+	p := &Process{
+		Index:    st.Index,
+		lh:       lh,
+		prio:     st.Prio,
+		bodyKind: st.BodyKind,
+		regs:     st.Regs,
+		spaceID:  st.SpaceID,
+	}
+	lh.procs[st.Index] = p
+	if st.Index >= lh.nextIdx {
+		lh.nextIdx = st.Index + 1
+	}
+	return p
+}
+
+// Start spawns the process's body. Frozen logical hosts delay the actual
+// first instruction until unfreeze (the body blocks at its first gate).
+func (h *Host) Start(p *Process) { h.startProcess(p) }
+
+// exitPanic unwinds a body when the process exits explicitly.
+type exitPanic struct{ code uint32 }
+
+func (h *Host) startProcess(p *Process) {
+	if p.started || p.dead {
+		return
+	}
+	p.started = true
+	name := fmt.Sprintf("%s/%v", p.lh.name, p.PID())
+	ctx := &ProcCtx{host: h, proc: p}
+	p.task = h.Eng.Spawn(name, func(t *sim.Task) {
+		ctx.task = t
+		defer func() {
+			if r := recover(); r != nil {
+				if sim.IsKill(r) {
+					panic(r)
+				}
+				if ep, ok := r.(exitPanic); ok {
+					p.regs.W[RegExitCode] = ep.code
+				} else {
+					panic(r)
+				}
+			}
+			h.procExit(p)
+		}()
+		ctx.gate()
+		if p.runFn != nil {
+			p.runFn(ctx)
+			return
+		}
+		NewBody(p.bodyKind).Run(ctx)
+	})
+}
+
+// procExit handles a process finishing (normally or via Exit).
+func (h *Host) procExit(p *Process) {
+	if p.dead {
+		return
+	}
+	p.dead = true
+	p.lh.exitCode = p.regs.W[RegExitCode]
+	if p.port != nil {
+		p.port.Close()
+	}
+	delete(p.lh.procs, p.Index)
+	if len(p.lh.procs) == 0 && !p.lh.system {
+		if h.OnLHEmpty != nil {
+			h.OnLHEmpty(p.lh)
+		}
+	}
+}
+
+// SpawnServer creates and immediately starts a system process in the
+// host's system logical host running fn. Used for the kernel server,
+// program manager, file server and display server — processes that never
+// migrate.
+func (h *Host) SpawnServer(name string, spaceSize uint32, fn func(*ProcCtx)) *Process {
+	as, err := h.systemLH.CreateSpace(spaceSize)
+	if err != nil {
+		panic(err)
+	}
+	p := h.systemLH.NewProcess(as.ID, "server:"+name, Regs{})
+	p.runFn = fn
+	h.startProcess(p)
+	return p
+}

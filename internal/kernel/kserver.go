@@ -1,0 +1,307 @@
+package kernel
+
+import (
+	"time"
+
+	"vsystem/internal/mem"
+	"vsystem/internal/params"
+	"vsystem/internal/vid"
+)
+
+// Kernel server operation codes. The kernel server of a workstation is
+// addressed location-independently as (logical-host-id, IdxKernelServer)
+// for any logical host resident there (§2.1). Operations addressed through
+// a *frozen* logical host are deferred by the IPC layer (reply-pending);
+// migration control traffic therefore addresses the target's kernel server
+// through the target's system logical host.
+const (
+	KsPing uint16 = 0x10 + iota
+	// KsCreateLH: Seg=name, W0=guest → W0=new LHID.
+	KsCreateLH
+	// KsCreateSpace: W0=lh, W1=size → W0=space id.
+	KsCreateSpace
+	// KsInstallSpace: W0=lh, W1=space id, W2=size (fixed-id, migration).
+	KsInstallSpace
+	// KsCreateProcess: W0=lh, W1=space id, Seg=body kind NUL regs blob →
+	// W0=new pid. Lets a program create sub-processes in its own logical
+	// host (§3: "a program may create sub-programs, all of which
+	// typically execute within a single logical host").
+	KsCreateProcess
+	// KsStartProcess: W0=pid — the creator's "reply to the initial
+	// process" that starts a newly created program (§2.1).
+	KsStartProcess
+	// KsWritePages: W0=lh, Seg=page run → OK.
+	KsWritePages
+	// KsReadPages: W0=lh, W1=space, W2=first page, W3=count → Seg=run.
+	KsReadPages
+	// KsFreezeLH: W0=lh.
+	KsFreezeLH
+	// KsUnfreezeLH: W0=lh, W1=1 to broadcast the new binding.
+	KsUnfreezeLH
+	// KsGetState: W0=lh → Seg = encoded LHState (lh must be frozen).
+	KsGetState
+	// KsSetState: W0=placeholder lh, Seg = encoded LHState.
+	KsSetState
+	// KsChangeLHID: W0=placeholder lh, W1=final LHID.
+	KsChangeLHID
+	// KsDestroyLH: W0=lh.
+	KsDestroyLH
+	// KsQueryLH: W0=lh → W0=#procs, W1=#spaces, W2=mem used, W3=frozen.
+	KsQueryLH
+	// KsQueryProcess: W0=pid → Seg=register blob, W0=state (0 running,
+	// 1 stopped, 2 dead). The V debugger's read-registers primitive:
+	// works identically on local and remote processes (§6).
+	KsQueryProcess
+)
+
+// KernelServerPID returns the kernel server address reachable through the
+// given logical host.
+func KernelServerPID(lh vid.LHID) vid.PID { return vid.NewPID(lh, vid.IdxKernelServer) }
+
+// startKernelServer spawns the kernel server process and registers its
+// well-known index.
+func (h *Host) startKernelServer() {
+	p := h.SpawnServer("kserver", 16*1024, h.kernelServerLoop)
+	p.prio = params.PrioKernel
+	h.RegisterWellKnown(vid.IdxKernelServer, p.PID())
+}
+
+func (h *Host) kernelServerLoop(ctx *ProcCtx) {
+	for {
+		req := ctx.Receive()
+		ctx.Compute(params.KernelOpCPU)
+		ctx.Reply(req, h.handleKs(ctx, req.Msg))
+	}
+}
+
+func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
+	switch m.Op {
+	case KsPing:
+		return vid.Message{Op: m.Op}
+
+	case KsCreateLH:
+		lh := h.CreateLH(m.SegString(), m.W[0] != 0)
+		return vid.Message{Op: m.Op, W: [6]uint32{uint32(lh.id)}}
+
+	case KsCreateSpace:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		as, err := lh.CreateSpace(m.W[1])
+		if err != nil {
+			return vid.ErrMsg(vid.CodeNoMemory)
+		}
+		return vid.Message{Op: m.Op, W: [6]uint32{as.ID}}
+
+	case KsInstallSpace:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		if _, err := lh.InstallSpace(m.W[1], m.W[2]); err != nil {
+			return vid.ErrMsg(vid.CodeNoMemory)
+		}
+		return vid.Message{Op: m.Op}
+
+	case KsCreateProcess:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		if _, ok := lh.spaces[m.W[1]]; !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		kind, regs, err := decodeCreateProc(m.Seg)
+		if err != nil {
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+		p := lh.NewProcess(m.W[1], kind, regs)
+		return vid.Message{Op: m.Op, W: [6]uint32{uint32(p.PID())}}
+
+	case KsStartProcess:
+		pid := vid.PID(m.W[0])
+		lh, ok := h.lhs[pid.LH()]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		p, ok := lh.procs[pid.Index()]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNoProcess)
+		}
+		h.startProcess(p)
+		return vid.Message{Op: m.Op}
+
+	case KsWritePages:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		spaceID, pages, data, err := DecodePageRun(m.Seg)
+		if err != nil {
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+		as, ok := lh.spaces[spaceID]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		for i, pn := range pages {
+			if err := as.InstallPage(pn, data[i]); err != nil {
+				return vid.ErrMsg(vid.CodeBadRequest)
+			}
+		}
+		return vid.Message{Op: m.Op}
+
+	case KsReadPages:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		as, ok := lh.spaces[m.W[1]]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		first, count := m.W[2], m.W[3]
+		if count > MaxRunPages {
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+		var pages []mem.PageNo
+		var data [][]byte
+		for pn := first; pn < first+count; pn++ {
+			pages = append(pages, mem.PageNo(pn))
+			data = append(data, as.Page(mem.PageNo(pn)))
+		}
+		return vid.Message{Op: m.Op, Seg: EncodePageRun(as.ID, pages, data)}
+
+	case KsFreezeLH:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		h.Freeze(lh)
+		return vid.Message{Op: m.Op}
+
+	case KsUnfreezeLH:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		h.Unfreeze(lh, m.W[1] != 0)
+		return vid.Message{Op: m.Op}
+
+	case KsGetState:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		if !lh.frozen {
+			return vid.ErrMsg(vid.CodeRefused)
+		}
+		st := h.SnapshotKernelState(lh)
+		ctx.Compute(params.KernelStateBaseCPU/2 + time.Duration(st.Items())*params.KernelStatePerItemCPU/2)
+		return vid.Message{Op: m.Op, Seg: st.Encode()}
+
+	case KsSetState:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		st, err := DecodeLHState(m.Seg)
+		if err != nil {
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+		ctx.Compute(params.KernelStateBaseCPU/2 + time.Duration(st.Items())*params.KernelStatePerItemCPU/2)
+		if err := h.InstallKernelState(lh, st); err != nil {
+			return vid.ErrMsg(vid.CodeRefused)
+		}
+		return vid.Message{Op: m.Op}
+
+	case KsChangeLHID:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		if err := h.ChangeLHID(lh, vid.LHID(m.W[1])); err != nil {
+			return vid.ErrMsg(vid.CodeRefused)
+		}
+		return vid.Message{Op: m.Op}
+
+	case KsDestroyLH:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		h.DestroyLH(lh)
+		return vid.Message{Op: m.Op}
+
+	case KsQueryProcess:
+		pid := vid.PID(m.W[0])
+		lh, ok := h.lhs[pid.LH()]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		p, ok := lh.procs[pid.Index()]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNoProcess)
+		}
+		state := uint32(0)
+		if !p.started {
+			state = 1
+		}
+		if p.dead {
+			state = 2
+		}
+		return vid.Message{Op: m.Op, W: [6]uint32{state}, Seg: EncodeRegs(&p.regs)}
+
+	case KsQueryLH:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		frozen := uint32(0)
+		if lh.frozen {
+			frozen = 1
+		}
+		return vid.Message{Op: m.Op, W: [6]uint32{
+			uint32(len(lh.procs)), uint32(len(lh.spaces)), lh.memUsed, frozen,
+		}}
+	}
+	return vid.ErrMsg(vid.CodeBadRequest)
+}
+
+// EncodeCreateProc builds the KsCreateProcess segment.
+func EncodeCreateProc(kind string, regs *Regs) []byte {
+	seg := append([]byte(kind), 0)
+	return append(seg, EncodeRegs(regs)...)
+}
+
+func decodeCreateProc(seg []byte) (string, Regs, error) {
+	for i, b := range seg {
+		if b == 0 {
+			regs, err := DecodeRegs(seg[i+1:])
+			return string(seg[:i]), regs, err
+		}
+	}
+	return "", Regs{}, vid.CodeError(vid.CodeBadRequest)
+}
+
+// EncodeRegs serializes a register blob (little-endian words).
+func EncodeRegs(r *Regs) []byte {
+	out := make([]byte, 0, 4*len(r.W))
+	for _, w := range r.W {
+		out = append(out, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return out
+}
+
+// DecodeRegs parses a register blob.
+func DecodeRegs(b []byte) (Regs, error) {
+	var r Regs
+	if len(b) != 4*len(r.W) {
+		return r, vid.CodeError(vid.CodeBadRequest)
+	}
+	for i := range r.W {
+		r.W[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	return r, nil
+}

@@ -1,0 +1,200 @@
+package kernel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"vsystem/internal/ipc"
+	"vsystem/internal/mem"
+	"vsystem/internal/vid"
+)
+
+// SpaceDesc describes one address space for migration.
+type SpaceDesc struct {
+	ID   uint32
+	Size uint32
+}
+
+// ProcState is one process's kernel state: everything migration must move
+// besides the address-space contents (§3.1.3 "copying its state in the
+// kernel server and program manager").
+type ProcState struct {
+	Index    uint16
+	Prio     int
+	SpaceID  uint32
+	BodyKind string
+	Regs     Regs
+	Port     *ipc.PortState
+}
+
+// LHState is a logical host's complete kernel state.
+type LHState struct {
+	LHID    vid.LHID // the identity the new copy will assume
+	Name    string
+	Guest   bool
+	Spaces  []SpaceDesc
+	Procs   []ProcState
+	NextIdx uint16
+	NextSp  uint32
+}
+
+// Items counts the processes and address spaces, the unit of the paper's
+// "9 milliseconds for each process and address space" cost.
+func (st *LHState) Items() int { return len(st.Procs) + len(st.Spaces) }
+
+// Encode serializes the state for transfer.
+func (st *LHState) Encode() []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		panic("kernel: LHState encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// DecodeLHState parses an encoded LHState.
+func DecodeLHState(b []byte) (*LHState, error) {
+	var st LHState
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("kernel: LHState decode: %w", err)
+	}
+	return &st, nil
+}
+
+// SnapshotKernelState captures a frozen logical host's kernel state. The
+// snapshot carries the logical host's current identity; migration installs
+// it on the new host and relabels the placeholder logical host with it.
+func (h *Host) SnapshotKernelState(lh *LogicalHost) *LHState {
+	st := &LHState{
+		LHID:    lh.id,
+		Name:    lh.name,
+		Guest:   lh.guest,
+		NextIdx: lh.nextIdx,
+		NextSp:  lh.nextSp,
+	}
+	for _, as := range lh.Spaces() {
+		st.Spaces = append(st.Spaces, SpaceDesc{ID: as.ID, Size: as.Size()})
+	}
+	for _, p := range lh.Procs() {
+		ps := ProcState{
+			Index:    p.Index,
+			Prio:     p.prio,
+			SpaceID:  p.spaceID,
+			BodyKind: p.bodyKind,
+			Regs:     p.regs,
+		}
+		if p.port != nil {
+			ps.Port = p.port.Snapshot()
+		}
+		st.Procs = append(st.Procs, ps)
+	}
+	return st
+}
+
+// InstallSpace creates (or verifies) an address space with a fixed id, as
+// described by a migration descriptor.
+func (lh *LogicalHost) InstallSpace(id, size uint32) (*mem.AddressSpace, error) {
+	if as, ok := lh.spaces[id]; ok {
+		if as.Size() != size {
+			return nil, vid.CodeError(vid.CodeRefused)
+		}
+		return as, nil
+	}
+	if size%mem.PageSize != 0 {
+		size += mem.PageSize - size%mem.PageSize
+	}
+	if !lh.system && size > lh.host.memFree {
+		return nil, vid.CodeError(vid.CodeNoMemory)
+	}
+	as := mem.NewAddressSpace(id, size)
+	lh.spaces[id] = as
+	if id > lh.nextSp {
+		lh.nextSp = id
+	}
+	if !lh.system {
+		lh.host.memFree -= size
+		lh.memUsed += size
+	}
+	return as, nil
+}
+
+// InstallKernelState restores processes (and any missing spaces) into a
+// placeholder logical host on the new physical host. The logical host must
+// be frozen; ports are restored quiesced with the *final* PIDs (the
+// snapshot's logical-host id) and start acting only at unfreeze. The
+// name/guest attributes are also assumed.
+func (h *Host) InstallKernelState(lh *LogicalHost, st *LHState) error {
+	if !lh.frozen {
+		return vid.CodeError(vid.CodeRefused)
+	}
+	lh.name = st.Name
+	lh.guest = st.Guest
+	for _, sd := range st.Spaces {
+		if _, err := lh.InstallSpace(sd.ID, sd.Size); err != nil {
+			return err
+		}
+	}
+	for _, ps := range st.Procs {
+		p := lh.restoreProcess(ps)
+		if ps.Port != nil {
+			p.port = h.IPC.RestorePort(ps.Port, false)
+		}
+	}
+	if st.NextIdx > lh.nextIdx {
+		lh.nextIdx = st.NextIdx
+	}
+	if st.NextSp > lh.nextSp {
+		lh.nextSp = st.NextSp
+	}
+	return nil
+}
+
+// --------------------------------------------------------- page runs
+
+// MaxRunPages bounds pages per WritePages/ReadPages run so an encoded run
+// fits the 32 KB segment limit.
+const MaxRunPages = 30
+
+// EncodePageRun packs pages of one address space for a bulk write.
+func EncodePageRun(spaceID uint32, pages []mem.PageNo, data [][]byte) []byte {
+	if len(pages) != len(data) {
+		panic("kernel: page/data mismatch")
+	}
+	buf := make([]byte, 0, 8+len(pages)*(4+mem.PageSize))
+	buf = binary.LittleEndian.AppendUint32(buf, spaceID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
+	for _, pn := range pages {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pn))
+	}
+	for _, d := range data {
+		if len(d) != mem.PageSize {
+			panic("kernel: short page in run")
+		}
+		buf = append(buf, d...)
+	}
+	return buf
+}
+
+// DecodePageRun unpacks a page run.
+func DecodePageRun(seg []byte) (spaceID uint32, pages []mem.PageNo, data [][]byte, err error) {
+	if len(seg) < 8 {
+		return 0, nil, nil, fmt.Errorf("kernel: short page run")
+	}
+	spaceID = binary.LittleEndian.Uint32(seg)
+	n := int(binary.LittleEndian.Uint32(seg[4:]))
+	need := 8 + n*4 + n*mem.PageSize
+	if n < 0 || n > MaxRunPages || len(seg) < need {
+		return 0, nil, nil, fmt.Errorf("kernel: malformed page run (%d pages, %d bytes)", n, len(seg))
+	}
+	off := 8
+	for i := 0; i < n; i++ {
+		pages = append(pages, mem.PageNo(binary.LittleEndian.Uint32(seg[off:])))
+		off += 4
+	}
+	for i := 0; i < n; i++ {
+		data = append(data, seg[off:off+mem.PageSize])
+		off += mem.PageSize
+	}
+	return spaceID, pages, data, nil
+}

@@ -1,0 +1,273 @@
+// Package mem implements V address spaces: sparse, page-granular memory
+// with per-page dirty bits.
+//
+// Dirty bits are the mechanism behind pre-copy migration (§3.1.2, footnote
+// 4: "modified pages are detected using dirty bits"): each pre-copy round
+// snapshots and clears the dirty set, then copies exactly the pages
+// modified during the previous round.
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"vsystem/internal/params"
+)
+
+// PageSize re-exports the page granularity for convenience.
+const PageSize = params.PageSize
+
+// PageNo identifies a page within an address space.
+type PageNo uint32
+
+// AddressSpace is a sparse paged memory. Pages are allocated on first
+// write; reads of unallocated memory return zeros. The space tracks a dirty
+// bit per allocated page.
+type AddressSpace struct {
+	ID    uint32 // space identifier within its logical host
+	limit uint32 // size in bytes; accesses beyond limit fault
+	pages map[PageNo]*page
+	// fault, when set, supplies the contents of a non-present page on
+	// first access (demand paging from a file server, §3.2). It may
+	// block the calling task. A nil return means a zero page.
+	fault FaultFunc
+}
+
+// FaultFunc resolves a missing page's contents.
+type FaultFunc func(pn PageNo) []byte
+
+// SetFault installs (or clears) the demand-paging handler.
+func (as *AddressSpace) SetFault(f FaultFunc) { as.fault = f }
+
+// Faulting reports whether a demand-paging handler is installed.
+func (as *AddressSpace) Faulting() bool { return as.fault != nil }
+
+type page struct {
+	data  []byte
+	dirty bool
+}
+
+// NewAddressSpace creates a space of the given size in bytes (rounded up to
+// a whole number of pages).
+func NewAddressSpace(id uint32, size uint32) *AddressSpace {
+	if size%PageSize != 0 {
+		size += PageSize - size%PageSize
+	}
+	return &AddressSpace{ID: id, limit: size, pages: make(map[PageNo]*page)}
+}
+
+// Size returns the space's limit in bytes.
+func (as *AddressSpace) Size() uint32 { return as.limit }
+
+// Allocated returns the number of bytes in allocated pages.
+func (as *AddressSpace) Allocated() uint32 { return uint32(len(as.pages)) * PageSize }
+
+// FaultError reports an access outside the space.
+type FaultError struct {
+	Addr uint32
+	N    int
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("mem: fault at %#x (+%d bytes)", e.Addr, e.N)
+}
+
+func (as *AddressSpace) check(addr uint32, n int) error {
+	if n < 0 || uint64(addr)+uint64(n) > uint64(as.limit) {
+		return &FaultError{Addr: addr, N: n}
+	}
+	return nil
+}
+
+func (as *AddressSpace) getPage(pn PageNo, alloc bool) *page {
+	p := as.pages[pn]
+	if p == nil && as.fault != nil {
+		data := as.fault(pn)
+		p = &page{data: make([]byte, PageSize)}
+		if data != nil {
+			copy(p.data, data)
+		}
+		as.pages[pn] = p
+		return p
+	}
+	if p == nil && alloc {
+		p = &page{data: make([]byte, PageSize)}
+		as.pages[pn] = p
+	}
+	return p
+}
+
+// ReadAt copies len(b) bytes starting at addr into b. Unallocated pages
+// read as zeros.
+func (as *AddressSpace) ReadAt(addr uint32, b []byte) error {
+	if err := as.check(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		pn := PageNo(addr / PageSize)
+		off := addr % PageSize
+		n := PageSize - off
+		if int(n) > len(b) {
+			n = uint32(len(b))
+		}
+		if p := as.getPage(pn, false); p != nil {
+			copy(b[:n], p.data[off:off+n])
+		} else {
+			for i := uint32(0); i < n; i++ {
+				b[i] = 0
+			}
+		}
+		b = b[n:]
+		addr += n
+	}
+	return nil
+}
+
+// WriteAt copies b into the space at addr, allocating and dirtying pages.
+func (as *AddressSpace) WriteAt(addr uint32, b []byte) error {
+	if err := as.check(addr, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		pn := PageNo(addr / PageSize)
+		off := addr % PageSize
+		n := PageSize - off
+		if int(n) > len(b) {
+			n = uint32(len(b))
+		}
+		p := as.getPage(pn, true)
+		copy(p.data[off:off+n], b[:n])
+		p.dirty = true
+		b = b[n:]
+		addr += n
+	}
+	return nil
+}
+
+// Word helpers for the VVM (little-endian 32-bit).
+
+// ReadWord reads the 32-bit word at addr.
+func (as *AddressSpace) ReadWord(addr uint32) (uint32, error) {
+	var b [4]byte
+	if err := as.ReadAt(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24, nil
+}
+
+// WriteWord writes the 32-bit word at addr.
+func (as *AddressSpace) WriteWord(addr uint32, v uint32) error {
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	return as.WriteAt(addr, b[:])
+}
+
+// Touch dirties the page containing addr without changing its contents
+// (used by workload models that only need the dirty-bit side effect).
+func (as *AddressSpace) Touch(addr uint32) error {
+	if err := as.check(addr, 1); err != nil {
+		return err
+	}
+	as.getPage(PageNo(addr/PageSize), true).dirty = true
+	return nil
+}
+
+// DirtyPages returns the sorted list of dirty page numbers.
+func (as *AddressSpace) DirtyPages() []PageNo {
+	var out []PageNo
+	for pn, p := range as.pages {
+		if p.dirty {
+			out = append(out, pn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DirtyCount returns the number of dirty pages.
+func (as *AddressSpace) DirtyCount() int {
+	n := 0
+	for _, p := range as.pages {
+		if p.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// SnapshotDirty returns the sorted dirty page list and clears all dirty
+// bits, beginning a new tracking interval (one pre-copy round).
+func (as *AddressSpace) SnapshotDirty() []PageNo {
+	out := as.DirtyPages()
+	for _, pn := range out {
+		as.pages[pn].dirty = false
+	}
+	return out
+}
+
+// ClearDirty clears all dirty bits without reporting them.
+func (as *AddressSpace) ClearDirty() {
+	for _, p := range as.pages {
+		p.dirty = false
+	}
+}
+
+// AllPages returns the sorted list of allocated page numbers.
+func (as *AddressSpace) AllPages() []PageNo {
+	out := make([]PageNo, 0, len(as.pages))
+	for pn := range as.pages {
+		out = append(out, pn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Page returns a copy of the page's contents (zeros if unallocated; a
+// demand-paging handler is consulted for non-present pages).
+func (as *AddressSpace) Page(pn PageNo) []byte {
+	b := make([]byte, PageSize)
+	if p := as.getPage(pn, false); p != nil {
+		copy(b, p.data)
+	}
+	return b
+}
+
+// InstallPage overwrites a whole page without setting its dirty bit: this
+// is the receive side of a migration copy, where the new copy must start
+// with clean dirty bits.
+func (as *AddressSpace) InstallPage(pn PageNo, data []byte) error {
+	if err := as.check(uint32(pn)*PageSize, PageSize); err != nil {
+		return err
+	}
+	if len(data) != PageSize {
+		return fmt.Errorf("mem: InstallPage with %d bytes", len(data))
+	}
+	p := as.getPage(pn, true)
+	copy(p.data, data)
+	p.dirty = false
+	return nil
+}
+
+// Equal reports whether two spaces have identical sizes and contents
+// (unallocated pages compare equal to zero pages). Used by migration
+// transparency tests.
+func (as *AddressSpace) Equal(other *AddressSpace) bool {
+	if as.limit != other.limit {
+		return false
+	}
+	seen := make(map[PageNo]bool)
+	for pn := range as.pages {
+		seen[pn] = true
+	}
+	for pn := range other.pages {
+		seen[pn] = true
+	}
+	for pn := range seen {
+		a, b := as.Page(pn), other.Page(pn)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,269 @@
+// Package packet defines the inter-kernel wire protocol of the simulated
+// V-System: the packet kinds, their binary encoding, and fragmentation of
+// large segments into Ethernet-sized frames.
+//
+// The protocol is the substrate the paper's migration machinery depends on:
+// request/reply transactions with retransmission, reply-pending packets for
+// busy or frozen destinations (§3.1.3), logical-host locate broadcasts and
+// new-binding notices for reference rebinding (§3.1.4), and multi-frame
+// transfers for the 32 Kbyte units V routinely moved (§3.1).
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"vsystem/internal/vid"
+)
+
+// Kind discriminates packet types.
+type Kind uint8
+
+const (
+	// KInvalid is the zero Kind.
+	KInvalid Kind = iota
+	// KRequest carries a Send's message to the destination process.
+	KRequest
+	// KReply carries the reply message back to the sender.
+	KReply
+	// KReplyPending tells a retransmitting sender that its request was
+	// received but the reply is not ready (receiver busy, queued, or
+	// frozen); it resets the sender's abort timer.
+	KReplyPending
+	// KNoProc tells the sender the destination process does not exist.
+	KNoProc
+	// KLocateReq broadcasts "which host has logical host L?".
+	KLocateReq
+	// KLocateResp answers a locate; the answering host's MAC is the
+	// frame source.
+	KLocateResp
+	// KBinding broadcasts a new logical-host binding after migration
+	// (the §3.1.4 optimization).
+	KBinding
+	// KFrag carries one fragment of a large segment; the carried
+	// OfKind/TxID/Src identify the logical packet it belongs to.
+	KFrag
+	// KFragNack asks the original sender to retransmit the listed
+	// missing fragments (selective repair).
+	KFragNack
+	kindMax
+)
+
+var kindNames = [...]string{
+	"invalid", "request", "reply", "reply-pending", "no-proc",
+	"locate-req", "locate-resp", "binding", "frag", "frag-nack",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind%d", uint8(k))
+}
+
+// InlineSegMax is the largest segment carried inline in a single frame;
+// larger segments are fragmented.
+const InlineSegMax = 1024
+
+// FragChunk is the fragment payload size.
+const FragChunk = 1024
+
+// Packet is the decoded form of any protocol packet. Field use varies by
+// Kind; unused fields encode as zero.
+type Packet struct {
+	Kind Kind
+	// TxID identifies the transaction (per sending process, monotonic).
+	TxID uint32
+	// Src and Dst are process identifiers; for locate/binding packets
+	// they are unused.
+	Src, Dst vid.PID
+	// LH is the subject of locate and binding packets.
+	LH vid.LHID
+	// Msg is the fixed-part message for KRequest/KReply.
+	Msg vid.Message
+	// SegLen is the total segment length when the segment travels as
+	// fragments (FragCount > 0); the Msg.Seg field is then empty.
+	SegLen uint32
+	// FragCount is the number of KFrag frames the segment was split
+	// into (0 = inline or no segment).
+	FragCount uint16
+	// OfKind / FragIdx describe a KFrag: which logical packet kind it
+	// belongs to and which chunk it carries.
+	OfKind  Kind
+	FragIdx uint16
+	// Data is the fragment chunk (KFrag).
+	Data []byte
+	// Missing lists fragment indices to retransmit (KFragNack).
+	Missing []uint16
+}
+
+// ErrTruncated reports a malformed/short encoding.
+var ErrTruncated = errors.New("packet: truncated")
+
+// ErrBadKind reports an unknown packet kind.
+var ErrBadKind = errors.New("packet: bad kind")
+
+const headerLen = 1 + 4 + 4 + 4 + 2 // kind, txid, src, dst, lh
+
+// Marshal encodes the packet.
+func Marshal(p *Packet) []byte {
+	// Conservative capacity: header + fixed message + variable parts.
+	b := make([]byte, 0, headerLen+40+len(p.Msg.Seg)+len(p.Data)+2*len(p.Missing)+16)
+	b = append(b, byte(p.Kind))
+	b = binary.LittleEndian.AppendUint32(b, p.TxID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Src))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Dst))
+	b = binary.LittleEndian.AppendUint16(b, uint16(p.LH))
+	switch p.Kind {
+	case KRequest, KReply:
+		b = binary.LittleEndian.AppendUint16(b, p.Msg.Op)
+		b = binary.LittleEndian.AppendUint16(b, p.Msg.Code)
+		for _, w := range p.Msg.W {
+			b = binary.LittleEndian.AppendUint32(b, w)
+		}
+		b = binary.LittleEndian.AppendUint32(b, p.SegLen)
+		b = binary.LittleEndian.AppendUint16(b, p.FragCount)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Msg.Seg)))
+		b = append(b, p.Msg.Seg...)
+	case KFrag:
+		b = append(b, byte(p.OfKind))
+		b = binary.LittleEndian.AppendUint16(b, p.FragIdx)
+		b = binary.LittleEndian.AppendUint16(b, p.FragCount)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Data)))
+		b = append(b, p.Data...)
+	case KFragNack:
+		b = append(b, byte(p.OfKind))
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Missing)))
+		for _, m := range p.Missing {
+			b = binary.LittleEndian.AppendUint16(b, m)
+		}
+	case KReplyPending, KNoProc, KLocateReq, KLocateResp, KBinding:
+		// Header-only kinds.
+	default:
+		panic(fmt.Sprintf("packet: marshal of %v", p.Kind))
+	}
+	return b
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.err = ErrTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		r.err = ErrTruncated
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.off:r.off+n])
+	r.off += n
+	return v
+}
+
+// Unmarshal decodes a packet.
+func Unmarshal(b []byte) (*Packet, error) {
+	r := &reader{b: b}
+	p := &Packet{}
+	p.Kind = Kind(r.u8())
+	if p.Kind == KInvalid || p.Kind >= kindMax {
+		return nil, ErrBadKind
+	}
+	p.TxID = r.u32()
+	p.Src = vid.PID(r.u32())
+	p.Dst = vid.PID(r.u32())
+	p.LH = vid.LHID(r.u16())
+	switch p.Kind {
+	case KRequest, KReply:
+		p.Msg.Op = r.u16()
+		p.Msg.Code = r.u16()
+		for i := range p.Msg.W {
+			p.Msg.W[i] = r.u32()
+		}
+		p.SegLen = r.u32()
+		p.FragCount = r.u16()
+		n := int(r.u16())
+		if n > 0 {
+			p.Msg.Seg = r.bytes(n)
+		}
+	case KFrag:
+		p.OfKind = Kind(r.u8())
+		p.FragIdx = r.u16()
+		p.FragCount = r.u16()
+		n := int(r.u16())
+		p.Data = r.bytes(n)
+	case KFragNack:
+		p.OfKind = Kind(r.u8())
+		n := int(r.u16())
+		p.Missing = make([]uint16, n)
+		for i := 0; i < n; i++ {
+			p.Missing[i] = r.u16()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return p, nil
+}
+
+// NumFrags returns how many KFrag frames a segment of n bytes needs, or 0
+// if it fits inline.
+func NumFrags(n int) int {
+	if n <= InlineSegMax {
+		return 0
+	}
+	return (n + FragChunk - 1) / FragChunk
+}
+
+// FragOf extracts fragment i of the given segment.
+func FragOf(seg []byte, i int) []byte {
+	lo := i * FragChunk
+	hi := lo + FragChunk
+	if hi > len(seg) {
+		hi = len(seg)
+	}
+	return seg[lo:hi]
+}
+
+func (p *Packet) String() string {
+	switch p.Kind {
+	case KLocateReq, KLocateResp, KBinding:
+		return fmt.Sprintf("%v(%v)", p.Kind, p.LH)
+	case KFrag:
+		return fmt.Sprintf("frag(%v tx=%d %d/%d)", p.OfKind, p.TxID, p.FragIdx+1, p.FragCount)
+	default:
+		return fmt.Sprintf("%v(tx=%d %v→%v)", p.Kind, p.TxID, p.Src, p.Dst)
+	}
+}

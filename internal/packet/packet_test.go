@@ -1,0 +1,168 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"vsystem/internal/vid"
+)
+
+func TestRoundTripRequest(t *testing.T) {
+	p := &Packet{
+		Kind: KRequest,
+		TxID: 42,
+		Src:  vid.NewPID(3, 17),
+		Dst:  vid.NewPID(9, 1),
+		Msg: vid.Message{
+			Op:   7,
+			Code: 0,
+			W:    [6]uint32{1, 2, 3, 4, 5, 6},
+			Seg:  []byte("payload"),
+		},
+	}
+	got, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestRoundTripHeaderOnlyKinds(t *testing.T) {
+	for _, k := range []Kind{KReplyPending, KNoProc, KLocateReq, KLocateResp, KBinding} {
+		p := &Packet{Kind: k, TxID: 9, Src: vid.NewPID(1, 16), Dst: vid.NewPID(2, 16), LH: 5}
+		got, err := Unmarshal(Marshal(p))
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("%v: got %+v want %+v", k, got, p)
+		}
+	}
+}
+
+func TestRoundTripFrag(t *testing.T) {
+	p := &Packet{
+		Kind:      KFrag,
+		TxID:      3,
+		Src:       vid.NewPID(1, 16),
+		Dst:       vid.NewPID(2, 1),
+		OfKind:    KRequest,
+		FragIdx:   4,
+		FragCount: 9,
+		Data:      bytes.Repeat([]byte{0xAB}, FragChunk),
+	}
+	got, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatal("frag round trip mismatch")
+	}
+}
+
+func TestRoundTripFragNack(t *testing.T) {
+	p := &Packet{
+		Kind:    KFragNack,
+		TxID:    8,
+		Src:     vid.NewPID(1, 16),
+		Dst:     vid.NewPID(2, 16),
+		OfKind:  KReply,
+		Missing: []uint16{0, 3, 31},
+	}
+	got, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatal("nack round trip mismatch")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil decode succeeded")
+	}
+	if _, err := Unmarshal([]byte{0xFF, 0, 0}); err != ErrBadKind {
+		t.Fatalf("bad kind: %v", err)
+	}
+	good := Marshal(&Packet{Kind: KRequest, Msg: vid.Message{Seg: []byte("abcdef")}})
+	for n := 1; n < len(good); n++ {
+		if _, err := Unmarshal(good[:n]); err == nil {
+			t.Fatalf("truncated decode at %d succeeded", n)
+		}
+	}
+}
+
+func TestNumFrags(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {InlineSegMax, 0},
+		{InlineSegMax + 1, 2}, {2048, 2}, {2049, 3}, {32768, 32},
+	}
+	for _, c := range cases {
+		if got := NumFrags(c.n); got != c.want {
+			t.Errorf("NumFrags(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFragOfReassembles(t *testing.T) {
+	seg := make([]byte, 5000)
+	rand.New(rand.NewSource(1)).Read(seg)
+	n := NumFrags(len(seg))
+	var out []byte
+	for i := 0; i < n; i++ {
+		out = append(out, FragOf(seg, i)...)
+	}
+	if !bytes.Equal(out, seg) {
+		t.Fatal("fragments do not reassemble")
+	}
+}
+
+// Property: marshal→unmarshal is the identity for randomly generated
+// request/reply packets.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(txid uint32, src, dst uint32, op, code uint16, w [6]uint32, seg []byte, isReply bool) bool {
+		if len(seg) > InlineSegMax {
+			seg = seg[:InlineSegMax]
+		}
+		if len(seg) == 0 {
+			seg = nil
+		}
+		k := KRequest
+		if isReply {
+			k = KReply
+		}
+		p := &Packet{
+			Kind: k, TxID: txid,
+			Src: vid.PID(src), Dst: vid.PID(dst),
+			Msg: vid.Message{Op: op, Code: code, W: w, Seg: seg},
+		}
+		got, err := Unmarshal(Marshal(p))
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random garbage either fails to decode or decodes without
+// panicking; never both panics.
+func TestQuickFuzzNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("Unmarshal panicked")
+			}
+		}()
+		Unmarshal(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

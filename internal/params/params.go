@@ -1,0 +1,197 @@
+// Package params centralizes every calibration constant of the simulated
+// substrate. Each constant is annotated with the paper measurement it is
+// calibrated against (Theimer, Lantz, Cheriton, SOSP '85, §4), so the
+// experiment harness can cite the provenance of its expectations.
+//
+// The hardware being modeled is the paper's: SUN workstations with a 10 MHz
+// 68010 (~1 MIPS) and 2 MB of memory on a 10 Mbit/s Ethernet.
+package params
+
+import "time"
+
+// ---------------------------------------------------------------- hardware
+
+const (
+	// PageSize is the memory page granularity; dirty bits are kept per
+	// page. 1 KB matches the granularity of the paper's Kbyte figures.
+	PageSize = 1024
+
+	// WorkstationMemory is the per-workstation physical memory (2 MB).
+	WorkstationMemory = 2 * 1024 * 1024
+
+	// InstrTime is the virtual cost of one VVM instruction: a 10 MHz
+	// 68010 delivers roughly 1 MIPS.
+	InstrTime = 1 * time.Microsecond
+
+	// CPUQuantum is the scheduling quantum of the per-workstation CPU.
+	// Preemption decisions are made at quantum boundaries.
+	CPUQuantum = 1 * time.Millisecond
+)
+
+// CPU priorities, highest first. The pre-copy operation runs at PrioSystem:
+// "executed at a higher priority than all other programs on the originating
+// host" (§3.1.2); locally invoked programs outrank guests: "priority
+// scheduling for locally invoked programs" (§2).
+const (
+	PrioKernel = iota // kernel server, network processing
+	PrioSystem        // program manager, migration pre-copy, servers
+	PrioLocal         // programs invoked by the workstation's owner
+	PrioGuest         // remotely executed programs
+	NumPrios
+)
+
+// ---------------------------------------------------------------- ethernet
+
+const (
+	// EthernetBitsPerSec is the raw medium rate (10 Mbit/s).
+	EthernetBitsPerSec = 10_000_000
+
+	// FrameOverheadBytes is preamble(8) + MAC header(14) + CRC(4) +
+	// inter-frame gap(12).
+	FrameOverheadBytes = 38
+
+	// FrameMTU is the largest frame payload (Ethernet payload limit).
+	FrameMTU = 1500
+)
+
+// ------------------------------------------------------- protocol CPU costs
+//
+// The 68010 could not keep a 10 Mbit Ethernet busy; measured V transfer
+// rates are dominated by per-packet software cost. These constants are
+// calibrated so that:
+//
+//   - inter-host address-space copy ≈ 3 s per Mbyte (§3.1, §4.1):
+//     per 1 KB page ≈ BulkSendCPU + wire(1062 B ≈ 0.85 ms) ≈ 3.0 ms;
+//   - program loading ≈ 330 ms per 100 KB (§4.1): the bulk path plus
+//     FileServerBlockCPU per block ≈ 3.3 ms/KB;
+//   - a remote Send-Receive-Reply round trip lands in the low
+//     milliseconds, as measured for V on this hardware.
+const (
+	// SmallPktSendCPU is kernel CPU to emit a small (non-fragmented)
+	// packet.
+	SmallPktSendCPU = 700 * time.Microsecond
+
+	// SmallPktRecvCPU is kernel CPU to accept and dispatch a small packet.
+	SmallPktRecvCPU = 700 * time.Microsecond
+
+	// BulkSendCPU is kernel CPU per full-size (1 KB payload) data frame.
+	BulkSendCPU = 2150 * time.Microsecond
+
+	// BulkRecvCPU is kernel CPU per received full-size data frame.
+	BulkRecvCPU = 600 * time.Microsecond
+
+	// LocalDeliverCPU is the cost of an intra-host message delivery.
+	LocalDeliverCPU = 300 * time.Microsecond
+
+	// LocalCopyPerKB is the additional intra-host cost per Kbyte of
+	// message segment (a memory-to-memory copy on a ~1 MIPS machine).
+	LocalCopyPerKB = 100 * time.Microsecond
+
+	// FileServerBlockCPU is extra file-server CPU per 1 KB block read or
+	// written (buffer-cache lookup, disk scheduling).
+	FileServerBlockCPU = 300 * time.Microsecond
+)
+
+// --------------------------------------------------------- retransmission
+
+const (
+	// RetransmitInterval is the gap between retransmissions of an
+	// unanswered request.
+	RetransmitInterval = 200 * time.Millisecond
+
+	// LocateAfterRetries: after this many unanswered retransmissions the
+	// logical-host cache entry is invalidated and the reference is
+	// broadcast (§3.1.4 "small number of retransmissions").
+	LocateAfterRetries = 3
+
+	// AbortAfterRetries: a transaction with no evidence of life (no
+	// reply-pending packets) for this many retransmissions aborts.
+	AbortAfterRetries = 25
+
+	// GroupAbortAfterRetries bounds group sends, which legitimately may
+	// have no responder.
+	GroupAbortAfterRetries = 3
+
+	// ReplyCacheTTL is how long a replier retains the last reply for
+	// retransmission to a duplicate request.
+	ReplyCacheTTL = 4 * time.Second
+
+	// FragReassemblyTTL bounds how long a partially reassembled
+	// multi-frame packet is retained.
+	FragReassemblyTTL = 2 * time.Second
+)
+
+// ------------------------------------------------------ measured-cost knobs
+//
+// Each of these reproduces a specific measured figure from §4.1/§4.2.
+
+const (
+	// KernelOpCPU: base cost of a kernel-server operation (dispatch,
+	// validation, table updates).
+	KernelOpCPU = 1 * time.Millisecond
+
+	// SelectProbeCPU: program-manager CPU to evaluate a host-selection
+	// query (load/memory check plus scheduling delay). Calibrated so the
+	// first response to a multicast selection request arrives in ≈23 ms.
+	SelectProbeCPU = 19 * time.Millisecond
+
+	// EnvSetupCPU: program-manager + kernel-server CPU to create a new
+	// execution environment (address space, initial process, argument
+	// and environment initialization). Paired with EnvDestroyCPU it is
+	// calibrated to the paper's 40 ms setup+destroy figure.
+	EnvSetupCPU = 22 * time.Millisecond
+
+	// EnvDestroyCPU: CPU to tear an execution environment down.
+	EnvDestroyCPU = 12 * time.Millisecond
+
+	// KernelStateBaseCPU: fixed cost of copying a logical host's kernel
+	// server + program manager state ("14 milliseconds plus ...").
+	KernelStateBaseCPU = 11 * time.Millisecond
+
+	// KernelStatePerItemCPU: "... an additional 9 milliseconds for each
+	// process and address space".
+	KernelStatePerItemCPU = 8 * time.Millisecond
+
+	// FrozenCheckCPU: "13 microseconds is added to several kernel
+	// operations to test whether a process is frozen" (§4.1). Charged on
+	// every freeze-gated kernel operation when migration support is
+	// enabled.
+	FrozenCheckCPU = 13 * time.Microsecond
+
+	// GroupIndirectCPU: "the overhead of identifying the team servers and
+	// kernel servers by local group identifiers adds about 100
+	// microseconds to every kernel server or team server operation".
+	GroupIndirectCPU = 100 * time.Microsecond
+)
+
+// ------------------------------------------------------------- migration
+
+// The pre-copy stopping policy is the paper's key design choice (§3.1.2).
+// These are variables (not constants) so the ablation experiments can
+// sweep them; production code treats them as configuration.
+var (
+	// PrecopyMaxRounds bounds pre-copy iterations: an initial full copy
+	// plus up to two passes over modified pages. The paper found "usually
+	// 2 pre-copy iterations were useful"; further passes shave little off
+	// the residue but delay the migration.
+	PrecopyMaxRounds = 3
+
+	// PrecopyStopKB: stop iterating when the dirty residue is at most
+	// this many Kbytes (further rounds cannot shrink it usefully).
+	PrecopyStopKB = 16.0
+
+	// PrecopyMinShrink: stop iterating when a round fails to shrink the
+	// dirty set to at most this fraction of the previous round.
+	PrecopyMinShrink = 0.7
+)
+
+// SelectTimeout is how long a host-selection query waits for its first
+// response before retrying.
+const SelectTimeout = 500 * time.Millisecond
+
+// WireTime returns the transmission time of a frame with n payload bytes on
+// the shared Ethernet.
+func WireTime(n int) time.Duration {
+	bits := (n + FrameOverheadBytes) * 8
+	return time.Duration(float64(bits) / EthernetBitsPerSec * float64(time.Second))
+}

@@ -1,0 +1,533 @@
+// Package progmgr implements the per-workstation program manager.
+//
+// The program manager (well-known local index 2, member of the well-known
+// program-manager group) provides program management for the programs
+// executing on its workstation (§2.1): it answers host-selection queries,
+// creates execution environments (address space, loaded image, argument
+// and environment initialization), tracks running programs, tears them
+// down on exit, and coordinates the receiving side of migration. The
+// sending side of migration — the pre-copy engine — is injected by the
+// core package as a Migrator, mirroring the paper's split between the
+// migration module added to the program manager and the kernel operations
+// it drives.
+package progmgr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"time"
+
+	"vsystem/internal/image"
+	"vsystem/internal/ipc"
+	"vsystem/internal/kernel"
+	"vsystem/internal/params"
+	"vsystem/internal/vid"
+	"vsystem/internal/vvm"
+)
+
+// Operations (0x30 region).
+const (
+	// PmQueryHost: Seg=hostname → reply only from the named host:
+	// W0=system LH, W5=PM pid.
+	PmQueryHost uint16 = 0x30 + iota
+	// PmSelectHost: W0=min free memory (bytes), W1=exclude system LH →
+	// reply only from willing idle hosts: W0=system LH, W1=free memory,
+	// W5=PM pid.
+	PmSelectHost
+	// PmCreateProgram: W0=stdout PID, W1=guest flag, Seg=program name
+	// NUL-joined with arguments → W0=initial process PID, W1=LHID.
+	PmCreateProgram
+	// PmWaitProgram: W0=LHID → replies when the program exits
+	// (W0=exit code) or migrates away (code=CodeMoved, W1=new PM pid).
+	PmWaitProgram
+	// PmMigrateProgram: W0=LHID (0 = all guest programs), W1=1 to
+	// destroy if no host found (-n) → Seg = gob MigrationReport.
+	PmMigrateProgram
+	// PmInitMigration: Seg = gob InitReq → W0=placeholder LHID,
+	// W1=target system LH, W5=PM pid.
+	PmInitMigration
+	// PmQueryPrograms: → Seg = listing, one program per line.
+	PmQueryPrograms
+	// PmDestroyProgram: W0=LHID.
+	PmDestroyProgram
+	// PmAssumeMigration: W0=final LHID — the source's notice that the
+	// incoming copy has assumed its identity and now belongs to this
+	// manager.
+	PmAssumeMigration
+	// PmSuspendProgram: W0=LHID — freeze the program (the transparent
+	// suspend of §2: "facilities for terminating, suspending and
+	// debugging programs work independent of whether the program is
+	// executing locally or remotely").
+	PmSuspendProgram
+	// PmResumeProgram: W0=LHID — unfreeze a suspended program.
+	PmResumeProgram
+)
+
+// CodeMoved is the WaitProgram reply code when the program migrated; W1
+// holds the program manager now responsible.
+const CodeMoved uint16 = 100
+
+// InitReq describes an incoming migration (§3.1.1): the target initializes
+// descriptors for the new copy under a different logical-host id.
+type InitReq struct {
+	Name    string
+	Guest   bool
+	FinalLH vid.LHID
+	Spaces  []kernel.SpaceDesc
+}
+
+// EncodeInitReq serializes an InitReq.
+func EncodeInitReq(r *InitReq) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// DecodeInitReq parses an InitReq.
+func DecodeInitReq(b []byte) (*InitReq, error) {
+	var r InitReq
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Migrator is the pluggable migration engine (implemented by the core
+// package). It runs on the source host's migration worker task and moves
+// lh to another host, returning a report.
+type Migrator interface {
+	Migrate(ctx *kernel.ProcCtx, pm *PM, lh *kernel.LogicalHost) (report []byte, newPM vid.PID, err error)
+}
+
+// progInfo tracks one program.
+type progInfo struct {
+	lh       *kernel.LogicalHost
+	name     string
+	guest    bool
+	incoming bool // migration receptacle, not yet assumed
+	waiters  []*ipc.Req
+}
+
+// PM is one workstation's program manager.
+type PM struct {
+	host     *kernel.Host
+	proc     *kernel.Process
+	Migrator Migrator
+
+	progs  map[vid.LHID]*progInfo
+	exited map[vid.LHID]uint32 // recently exited: exit codes for late waiters
+
+	reaper   *kernel.Process
+	exits    []*kernel.LogicalHost
+	migrateQ []*migrateJob
+	worker   *kernel.Process
+
+	fsPID vid.PID // cached file-server pid
+}
+
+type migrateJob struct {
+	req  *ipc.Req
+	lhid vid.LHID
+	kill bool
+}
+
+// Start spawns the program manager on a host.
+func Start(h *kernel.Host) *PM {
+	pm := &PM{
+		host:   h,
+		progs:  make(map[vid.LHID]*progInfo),
+		exited: make(map[vid.LHID]uint32),
+	}
+	pm.proc = h.SpawnServer("progmgr", 64*1024, pm.run)
+	h.RegisterWellKnown(vid.IdxProgramManager, pm.proc.PID())
+	h.JoinGroup(vid.GroupProgramManagers, pm.proc.PID())
+	h.OnLHEmpty = pm.onLHEmpty
+	pm.reaper = h.SpawnServer("pm-reaper", 4096, pm.reap)
+	pm.worker = h.SpawnServer("pm-migrate", 16*1024, pm.migrateLoop)
+	return pm
+}
+
+// PID returns the program manager's process id.
+func (pm *PM) PID() vid.PID { return pm.proc.PID() }
+
+// Host returns the managed workstation.
+func (pm *PM) Host() *kernel.Host { return pm.host }
+
+// Programs returns the LHIDs of programs this manager tracks (excluding
+// incoming receptacles).
+func (pm *PM) Programs() []vid.LHID {
+	var out []vid.LHID
+	for id, pi := range pm.progs {
+		if !pi.incoming {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// onLHEmpty runs in the exiting process's context; queue the teardown for
+// the reaper task.
+func (pm *PM) onLHEmpty(lh *kernel.LogicalHost) {
+	pm.exits = append(pm.exits, lh)
+}
+
+func (pm *PM) reap(ctx *kernel.ProcCtx) {
+	for {
+		if len(pm.exits) == 0 {
+			ctx.Sleep(pollInterval)
+			continue
+		}
+		lh := pm.exits[0]
+		pm.exits = pm.exits[1:]
+		pi := pm.progs[lh.ID()]
+		code := lh.ExitCode()
+		ctx.Compute(params.EnvDestroyCPU)
+		pm.host.DestroyLH(lh)
+		pm.exited[lh.ID()] = code
+		if pi != nil {
+			delete(pm.progs, lh.ID())
+			for _, w := range pi.waiters {
+				ctx.Reply(w, vid.Message{Op: PmWaitProgram, W: [6]uint32{code}})
+			}
+		}
+	}
+}
+
+// MigrateAway is the programmatic equivalent of PmMigrateProgram for
+// callers on the same host (the owner-returns scenario): it queues the
+// migration and returns immediately.
+func (pm *PM) MigrateAway(lhid vid.LHID, kill bool) {
+	pm.migrateQ = append(pm.migrateQ, &migrateJob{lhid: lhid, kill: kill})
+}
+
+func (pm *PM) migrateLoop(ctx *kernel.ProcCtx) {
+	for {
+		if len(pm.migrateQ) == 0 {
+			ctx.Sleep(pollInterval)
+			continue
+		}
+		job := pm.migrateQ[0]
+		pm.migrateQ = pm.migrateQ[1:]
+		reply := pm.doMigrate(ctx, job)
+		if job.req != nil {
+			pm.proc.Port().Reply(ctx.Task(), job.req, reply)
+		}
+	}
+}
+
+func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
+	pi := pm.progs[job.lhid]
+	if pi == nil || pi.incoming {
+		return vid.ErrMsg(vid.CodeNotFound)
+	}
+	if pm.Migrator == nil {
+		return vid.ErrMsg(vid.CodeRefused)
+	}
+	if pi.lh.Frozen() {
+		// A suspended program stays where it is; resume it first. (The
+		// migration engine manages freezing itself.)
+		return vid.ErrMsg(vid.CodeRefused)
+	}
+	report, newPM, err := pm.Migrator.Migrate(ctx, pm, pi.lh)
+	if err != nil {
+		if job.kill {
+			// migrateprog -n: destroy the program when no host accepts it.
+			pm.host.DestroyLH(pi.lh)
+			delete(pm.progs, job.lhid)
+			pm.exited[job.lhid] = 0xDEAD
+			for _, w := range pi.waiters {
+				ctx.Reply(w, vid.Message{Op: PmWaitProgram, W: [6]uint32{0xDEAD}})
+			}
+			return vid.Message{Op: PmMigrateProgram, W: [6]uint32{1}}
+		}
+		return vid.ErrMsg(vid.CodeRefused)
+	}
+	// The program now belongs to the new host's manager: release local
+	// bookkeeping and redirect waiters.
+	delete(pm.progs, job.lhid)
+	for _, w := range pi.waiters {
+		ctx.Reply(w, vid.Message{Op: PmWaitProgram, Code: CodeMoved, W: [6]uint32{0, uint32(newPM)}})
+	}
+	return vid.Message{Op: PmMigrateProgram, Seg: report}
+}
+
+// run is the program manager's main service loop.
+func (pm *PM) run(ctx *kernel.ProcCtx) {
+	port := pm.proc.Port()
+	for {
+		req := ctx.Receive()
+		m := req.Msg
+		switch m.Op {
+		case PmQueryHost:
+			if !strings.EqualFold(m.SegString(), pm.host.Name) {
+				port.Drop(req)
+				continue
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
+				uint32(pm.host.SystemLH().ID()), 0, 0, 0, 0, uint32(pm.PID()),
+			}})
+
+		case PmSelectHost:
+			// Evaluate availability: CPU idle at program priorities and
+			// enough free memory. The evaluation cost dominates the
+			// paper's 23 ms host-selection time.
+			if vid.LHID(m.W[1]) == pm.host.SystemLH().ID() {
+				port.Drop(req) // the requester excludes itself
+				continue
+			}
+			ctx.Compute(params.SelectProbeCPU)
+			if !pm.host.CPU.Idle() || pm.host.MemFree() < m.W[0] {
+				port.Drop(req)
+				continue
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
+				uint32(pm.host.SystemLH().ID()), pm.host.MemFree(), 0, 0, 0, uint32(pm.PID()),
+			}})
+
+		case PmCreateProgram:
+			ctx.Reply(req, pm.createProgram(ctx, m))
+
+		case PmWaitProgram:
+			lhid := vid.LHID(m.W[0])
+			if pi := pm.progs[lhid]; pi != nil && !pi.incoming {
+				pi.waiters = append(pi.waiters, req)
+				continue // deferred reply
+			}
+			if code, ok := pm.exited[lhid]; ok {
+				ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{code}})
+				continue
+			}
+			ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+
+		case PmMigrateProgram:
+			lhid := vid.LHID(m.W[0])
+			if lhid == 0 {
+				// migrateprog with no program: remove all guest programs.
+				for id, pi := range pm.progs {
+					if pi.guest && !pi.incoming {
+						pm.migrateQ = append(pm.migrateQ, &migrateJob{lhid: id, kill: m.W[1] != 0})
+					}
+				}
+				ctx.Reply(req, vid.Message{Op: m.Op})
+				continue
+			}
+			pm.migrateQ = append(pm.migrateQ, &migrateJob{req: req, lhid: lhid, kill: m.W[1] != 0})
+
+		case PmInitMigration:
+			ctx.Reply(req, pm.initMigration(ctx, m))
+
+		case PmAssumeMigration:
+			pm.AssumeIncoming(vid.LHID(m.W[0]))
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case PmSuspendProgram, PmResumeProgram:
+			pi := pm.progs[vid.LHID(m.W[0])]
+			if pi == nil || pi.incoming {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+				continue
+			}
+			if m.Op == PmSuspendProgram {
+				pm.host.Freeze(pi.lh)
+			} else {
+				pm.host.Unfreeze(pi.lh, false)
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case PmQueryPrograms:
+			var sb strings.Builder
+			for _, lh := range pm.host.LHs() {
+				if lh.System() {
+					continue
+				}
+				fmt.Fprintf(&sb, "%v %s guest=%v frozen=%v mem=%dK\n",
+					lh.ID(), lh.Name(), lh.Guest(), lh.Frozen(), lh.MemUsed()/1024)
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op, Seg: []byte(sb.String())})
+
+		case PmDestroyProgram:
+			lhid := vid.LHID(m.W[0])
+			pi := pm.progs[lhid]
+			if pi == nil {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+				continue
+			}
+			ctx.Compute(params.EnvDestroyCPU)
+			pm.host.DestroyLH(pi.lh)
+			delete(pm.progs, lhid)
+			pm.exited[lhid] = 0xDEAD
+			for _, w := range pi.waiters {
+				ctx.Reply(w, vid.Message{Op: PmWaitProgram, W: [6]uint32{0xDEAD}})
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		default:
+			ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+		}
+	}
+}
+
+// createProgram sets up a new execution environment (§2.1): find the
+// image on a file server, create the logical host and address space, load
+// code and data, write the environment block, and create the initial
+// process awaiting its creator's start.
+func (pm *PM) createProgram(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
+	parts := strings.Split(m.SegString(), "\x00")
+	progName := parts[0]
+	args := parts[1:]
+	guest := m.W[1] != 0
+	stdout := vid.PID(m.W[0])
+
+	imgBytes, fsPID, err := pm.loadFile(ctx, progName)
+	if err != nil {
+		return vid.ErrMsg(vid.CodeNotFound)
+	}
+	img, err := image.Decode(imgBytes)
+	if err != nil {
+		return vid.ErrMsg(vid.CodeBadRequest)
+	}
+
+	// Environment setup cost (address space, process, argument and
+	// environment initialization — calibrated with destroy to the
+	// paper's 40 ms).
+	ctx.Compute(params.EnvSetupCPU)
+
+	lh := pm.host.CreateLH(progName, guest)
+	as, err := lh.CreateSpace(img.SpaceSize)
+	if err != nil {
+		pm.host.DestroyLH(lh)
+		return vid.ErrMsg(vid.CodeNoMemory)
+	}
+	if len(img.Code) > 0 {
+		if err := as.WriteAt(vvm.CodeBase, img.Code); err != nil {
+			pm.host.DestroyLH(lh)
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+	}
+	if len(img.Data) > 0 {
+		if err := as.WriteAt(vvm.CodeBase+uint32(len(img.Code)), img.Data); err != nil {
+			pm.host.DestroyLH(lh)
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+	}
+	heap := vvm.CodeBase + uint32(len(img.Code)+len(img.Data))
+	heap = (heap + 1023) &^ 1023
+	env := image.EnvBlock{
+		Stdout:     stdout,
+		FileServer: fsPID,
+		Args:       append([]string{progName}, args...),
+		HeapBase:   heap,
+		// "a name cache for commonly used global names" (§2.1): seeded
+		// with the bindings this manager knows; migrates with the
+		// program's address space (§6).
+		NameCache: map[string]vid.PID{
+			"fileserver": fsPID,
+			"stdout":     stdout,
+		},
+	}
+	if err := as.WriteAt(0, env.Encode()); err != nil {
+		pm.host.DestroyLH(lh)
+		return vid.ErrMsg(vid.CodeBadRequest)
+	}
+	// A freshly loaded program starts with clean dirty bits: its code and
+	// initialized data are "portions that are never modified" (§3.1.2).
+	as.ClearDirty()
+
+	p := lh.NewProcess(as.ID, img.Kind, kernel.Regs{})
+	pm.progs[lh.ID()] = &progInfo{lh: lh, name: progName, guest: guest}
+	return vid.Message{Op: PmCreateProgram, W: [6]uint32{uint32(p.PID()), uint32(lh.ID())}}
+}
+
+// loadFile fetches a file from a network file server in 32 KB reads.
+func (pm *PM) loadFile(ctx *kernel.ProcCtx, name string) ([]byte, vid.PID, error) {
+	fs := pm.fsPID
+	st, err := ctx.Send(orGroup(fs), vid.Message{Op: fsOpStat, Seg: []byte(name)})
+	if err != nil || !st.OK() {
+		// Retry once through the group in case a cached server died.
+		pm.fsPID = vid.Nil
+		st, err = ctx.Send(vid.GroupFileServers, vid.Message{Op: fsOpStat, Seg: []byte(name)})
+		if err != nil || !st.OK() {
+			return nil, vid.Nil, vid.CodeError(vid.CodeNotFound)
+		}
+	}
+	if pid := vid.PID(st.W[5]); pid != vid.Nil {
+		pm.fsPID = pid
+	}
+	size := int(st.W[0])
+	out := make([]byte, 0, size)
+	for off := 0; off < size; off += vid.SegMax {
+		n := size - off
+		if n > vid.SegMax {
+			n = vid.SegMax
+		}
+		r, err := ctx.Send(pm.fsPID, vid.Message{
+			Op: fsOpRead, W: [6]uint32{uint32(off), uint32(n)}, Seg: []byte(name),
+		})
+		if err != nil || !r.OK() {
+			return nil, vid.Nil, vid.CodeError(vid.CodeNotFound)
+		}
+		out = append(out, r.Seg...)
+	}
+	return out, pm.fsPID, nil
+}
+
+func orGroup(pid vid.PID) vid.PID {
+	if pid == vid.Nil {
+		return vid.GroupFileServers
+	}
+	return pid
+}
+
+// File-server op codes, duplicated here to avoid importing fileserver
+// (which imports kernel; no cycle actually — but keep the wire contract
+// explicit).
+const (
+	fsOpStat uint16 = 0x50
+	fsOpRead uint16 = 0x51
+)
+
+// initMigration is the receiving side of §3.1.1: allocate a placeholder
+// logical host under a different id, create its address spaces, freeze it,
+// and remember the identity it will assume.
+func (pm *PM) initMigration(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
+	req, err := DecodeInitReq(m.Seg)
+	if err != nil {
+		return vid.ErrMsg(vid.CodeBadRequest)
+	}
+	var need uint32
+	for _, sd := range req.Spaces {
+		need += sd.Size
+	}
+	if need > pm.host.MemFree() {
+		return vid.ErrMsg(vid.CodeNoMemory)
+	}
+	ctx.Compute(params.KernelOpCPU)
+	lh := pm.host.CreateLH(req.Name, req.Guest)
+	for _, sd := range req.Spaces {
+		if _, err := lh.InstallSpace(sd.ID, sd.Size); err != nil {
+			pm.host.DestroyLH(lh)
+			return vid.ErrMsg(vid.CodeNoMemory)
+		}
+	}
+	pm.host.Freeze(lh)
+	pm.progs[req.FinalLH] = &progInfo{lh: lh, name: req.Name, guest: req.Guest, incoming: true}
+	return vid.Message{Op: m.Op, W: [6]uint32{
+		uint32(lh.ID()), uint32(pm.host.SystemLH().ID()), 0, 0, 0, uint32(pm.PID()),
+	}}
+}
+
+// AssumeIncoming finalizes an incoming migration: the placeholder has been
+// relabeled with the final LHID (by the kernel's ChangeLHID); mark the
+// program as owned.
+func (pm *PM) AssumeIncoming(final vid.LHID) {
+	if pi := pm.progs[final]; pi != nil {
+		pi.incoming = false
+	}
+}
+
+// pollInterval is how often the reaper and migration worker check their
+// queues when idle.
+const pollInterval = 10 * time.Millisecond

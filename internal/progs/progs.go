@@ -1,0 +1,332 @@
+// Package progs provides ready-made VVM programs: real bytecode programs
+// (assembled from VVM assembly) used by the examples, tests and
+// benchmarks. Because they run on the VVM, they are fully migratable and
+// their output is bit-deterministic — the basis of the transparency tests.
+package progs
+
+import (
+	"fmt"
+
+	"vsystem/internal/image"
+	"vsystem/internal/vvm"
+)
+
+// itoaLib is a CALL-able routine: converts r7 to decimal at the 32-byte
+// buffer at [heap], returning start in r6 and length in r5. Clobbers
+// r3-r8.
+const itoaLib = `
+; itoa: value in r7 -> string start r6, length r5
+itoa:   LDI r3, 0
+        LD r6, r3, 0x14   ; r6 = heap base
+        ADDI r6, 31       ; write digits backwards from heap+31
+        LDI r8, 10
+itlp:   MOV r4, r7
+        MOD r4, r8
+        ADDI r4, 48
+        STB r4, r6, 0
+        ADDI r6, -1
+        DIV r7, r8
+        LDI r3, 0
+        BNE r7, r3, itlp
+        ADDI r6, 1        ; start of digits
+        LDI r3, 0
+        LD r5, r3, 0x14
+        ADDI r5, 32       ; one past buffer
+        SUB r5, r6        ; length
+        RET
+`
+
+// Hello returns a program that prints one line and exits 0.
+func Hello() *image.Image {
+	return mustImage("hello", `
+        LDI r0, =msg
+        LDI r1, 18
+        OUT r0, r1
+        LDI r0, 0
+        HALT r0
+msg:    .ascii "hello from the VVM"
+`)
+}
+
+// Primes returns a program that counts primes below n by trial division
+// (a CPU-bound job: roughly n*sqrt(n) instruction budget) and prints the
+// count.
+func Primes(n uint32) *image.Image {
+	src := fmt.Sprintf(`
+        LDI r9, %d        ; limit
+        LDI r1, 2         ; candidate
+        LDI r2, 0         ; count
+loop:   BGE r1, r9, done
+        LDI r3, 2
+test:   MOV r4, r3
+        MUL r4, r3
+        BLT r1, r4, prime ; no divisor up to sqrt: prime
+        MOV r4, r1
+        MOD r4, r3
+        LDI r5, 0
+        BEQ r4, r5, notp
+        ADDI r3, 1
+        JMP test
+prime:  ADDI r2, 1
+notp:   ADDI r1, 1
+        JMP loop
+done:   MOV r7, r2
+        PUSH r2
+        CALL itoa
+        OUT r6, r5
+        POP r2
+        HALT r2
+`+itoaLib, n)
+	return mustImage(fmt.Sprintf("primes%d", n), src)
+}
+
+// Ticker returns a program that performs work units of ~25k instructions,
+// printing "t<i>" after each of n units, then exits. Useful for observing
+// output continuity across migration.
+func Ticker(n uint32) *image.Image {
+	src := fmt.Sprintf(`
+        LDI r9, %d        ; ticks
+        LDI r2, 0         ; i
+loop:   BGE r2, r9, done
+        LDI r3, 0
+        LDI r4, 12500     ; ~25k instructions of busy work
+busy:   ADDI r3, 1
+        BLT r3, r4, busy
+        ADDI r2, 1
+        ; print "t" ++ itoa(i)
+        LDI r3, 0
+        LD r6, r3, 0x14
+        ADDI r6, 40       ; line buffer at heap+40
+        LDI r4, 116       ; 't'
+        STB r4, r6, 0
+        MOV r7, r2
+        CALL itoa         ; digits at r6', len r5
+        ; copy digits after the 't'
+        LDI r3, 0
+        LD r8, r3, 0x14
+        ADDI r8, 41
+        MOV r0, r5        ; remaining
+cpy:    LDI r3, 0
+        BEQ r0, r3, emit
+        LDB r4, r6, 0
+        STB r4, r8, 0
+        ADDI r6, 1
+        ADDI r8, 1
+        ADDI r0, -1
+        JMP cpy
+emit:   LDI r3, 0
+        LD r6, r3, 0x14
+        ADDI r6, 40
+        MOV r1, r5
+        ADDI r1, 1        ; 't' + digits
+        OUT r6, r1
+        JMP loop
+done:   LDI r0, 0
+        HALT r0
+`+itoaLib, n)
+	return mustImage(fmt.Sprintf("ticker%d", n), src)
+}
+
+// MemWalker returns a program that repeatedly writes a deterministic
+// pattern over kb Kbytes of heap for rounds passes, then prints a
+// checksum. It exercises dirty-page generation with real data, so the
+// transparency property tests can compare final memory contents.
+func MemWalker(kb, rounds uint32) *image.Image {
+	src := fmt.Sprintf(`
+        LDI r9, %d        ; bytes
+        LDI r10, %d       ; rounds
+        LDI r11, 0        ; round
+        LDI r12, 0x9E3779B9
+outer:  BGE r11, r10, done
+        LDI r1, 0         ; offset
+inner:  BGE r1, r9, next
+        ; value = (round*2654435769 + offset) xor pattern
+        MOV r2, r11
+        MUL r2, r12
+        ADD r2, r1
+        LDI r3, 0
+        LD r4, r3, 0x14   ; heap
+        ADD r4, r1
+        ST r2, r4, 64     ; leave itoa buffer clear
+        ADDI r1, 64       ; one write per 64 bytes
+        JMP inner
+next:   ADDI r11, 1
+        JMP outer
+done:   ; checksum = sum of words at heap+64 step 1024
+        LDI r1, 0
+        LDI r2, 0
+cks:    BGE r1, r9, emit
+        LDI r3, 0
+        LD r4, r3, 0x14
+        ADD r4, r1
+        LD r5, r4, 64
+        ADD r2, r5
+        ADDI r1, 1024
+        JMP cks
+emit:   MOV r7, r2
+        PUSH r2
+        CALL itoa
+        OUT r6, r5
+        POP r2
+        HALT r2
+`+itoaLib, kb*1024, rounds)
+	img := mustImage(fmt.Sprintf("memwalk%dk", kb), src)
+	img.SpaceSize = vvm.CodeBase + 4096 + kb*1024 + 64*1024
+	return img
+}
+
+func mustImage(name, src string) *image.Image {
+	code, err := vvm.Assemble(src)
+	if err != nil {
+		panic("progs: " + name + ": " + err.Error())
+	}
+	return &image.Image{
+		Name:      name,
+		Kind:      vvm.BodyKind,
+		Code:      code,
+		SpaceSize: uint32(vvm.CodeBase) + uint32(len(code)) + 128*1024,
+	}
+}
+
+// FileIO returns a program that exercises the VVM SEND instruction against
+// the network file server: it writes a 16-byte file, reads it back, and
+// prints "fileio ok" if the bytes match (exit 0) or "fileio bad" (exit 1).
+// The file server PID comes from the environment block, the request and
+// reply segments from program memory — real system programming on the VVM.
+func FileIO() *image.Image {
+	return mustImage("fileio", `
+        LDI r0, 0
+        LD r12, r0, 0x14   ; heap base (message block lives here)
+        LD r11, r0, 8      ; file server PID from the env block
+        ; ---- OpWrite (0x52): seg = "out.dat" NUL data, W0 = offset
+        ST r11, r12, 0     ; blk.dst
+        LDI r1, 0x52
+        ST r1, r12, 4      ; blk.op
+        LDI r1, 0
+        ST r1, r12, 8      ; W0 = 0
+        LDI r1, =wseg
+        ST r1, r12, 32     ; segAddr
+        LDI r1, 24
+        ST r1, r12, 36     ; segLen (7 name + NUL + 16 data)
+        LDI r1, 0
+        ST r1, r12, 44     ; repCap
+        MOV r0, r12
+        SEND r0
+        LD r1, r12, 52     ; transport error
+        LDI r2, 0
+        BNE r1, r2, bad
+        LD r1, r12, 4      ; op | replycode<<16
+        LDI r3, 16
+        SHR r1, r3
+        BNE r1, r2, bad
+        ; ---- OpRead (0x51): seg = name, W0 = offset, W1 = length
+        ST r11, r12, 0
+        LDI r1, 0x51
+        ST r1, r12, 4
+        LDI r1, 0
+        ST r1, r12, 8
+        LDI r1, 16
+        ST r1, r12, 12
+        LDI r1, =rname
+        ST r1, r12, 32
+        LDI r1, 7
+        ST r1, r12, 36
+        MOV r1, r12
+        ADDI r1, 0x200
+        ST r1, r12, 40     ; repAddr = heap+0x200
+        LDI r1, 64
+        ST r1, r12, 44     ; repCap
+        MOV r0, r12
+        SEND r0
+        LD r1, r12, 52
+        LDI r2, 0
+        BNE r1, r2, bad
+        LD r1, r12, 48     ; repLen
+        LDI r2, 16
+        BNE r1, r2, bad
+        ; ---- compare the read-back bytes with the original data
+        LDI r3, 0
+cmp:    LDI r2, 16
+        BGE r3, r2, good
+        LDI r4, =wdata
+        ADD r4, r3
+        LDB r5, r4, 0
+        MOV r6, r12
+        ADDI r6, 0x200
+        ADD r6, r3
+        LDB r7, r6, 0
+        BNE r5, r7, bad
+        ADDI r3, 1
+        JMP cmp
+good:   LDI r0, =okmsg
+        LDI r1, 9
+        OUT r0, r1
+        LDI r0, 0
+        HALT r0
+bad:    LDI r0, =badmsg
+        LDI r1, 10
+        OUT r0, r1
+        LDI r0, 1
+        HALT r0
+wseg:   .ascii "out.dat"
+        .byte 0
+wdata:  .ascii "FILEDATA12345678"
+rname:  .ascii "out.dat"
+okmsg:  .ascii "fileio ok"
+badmsg: .ascii "fileio bad"
+`)
+}
+
+// PrimesRange returns a program that counts primes in [lo, hi) where lo
+// and hi come from the program's ARGUMENTS (parsed from the environment
+// block's argv with an atoi routine). One image serves every worker of a
+// decomposed computation: `primesrange 2 5000 @ *`.
+func PrimesRange() *image.Image {
+	return mustImage("primesrange", `
+        LDI r0, 0
+        LD r6, r0, 0x10    ; argv base (byte offset == address: env at 0)
+skip0:  LDB r1, r6, 0      ; skip argv[0] (program name)
+        ADDI r6, 1
+        LDI r2, 0
+        BNE r1, r2, skip0
+        CALL atoi
+        MOV r9, r7         ; lo
+        CALL atoi
+        MOV r10, r7        ; hi
+        MOV r1, r9
+        LDI r2, 0          ; count
+loop:   BGE r1, r10, done
+        LDI r3, 2
+test:   MOV r4, r3
+        MUL r4, r3
+        BLT r1, r4, prime
+        MOV r4, r1
+        MOD r4, r3
+        LDI r5, 0
+        BEQ r4, r5, notp
+        ADDI r3, 1
+        JMP test
+prime:  ADDI r2, 1
+notp:   ADDI r1, 1
+        JMP loop
+done:   MOV r7, r2
+        PUSH r2
+        CALL itoa
+        OUT r6, r5
+        POP r2
+        HALT r2
+
+; atoi: parse decimal at [r6] until NUL; result r7, r6 past the NUL.
+atoi:   LDI r7, 0
+atlp:   LDB r1, r6, 0
+        ADDI r6, 1
+        LDI r2, 0
+        BEQ r1, r2, atdn
+        LDI r3, 10
+        MUL r7, r3
+        ADDI r1, -48
+        ADD r7, r1
+        JMP atlp
+atdn:   RET
+`+itoaLib)
+}

@@ -1,0 +1,162 @@
+package progs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vsystem/internal/core"
+)
+
+func run(t *testing.T, imgName string, budget time.Duration, install ...func(c *core.Cluster)) (uint32, []string) {
+	t.Helper()
+	c := core.NewCluster(core.Options{Workstations: 2, Seed: 1})
+	for _, f := range install {
+		f(c)
+	}
+	var code uint32
+	var err error
+	c.Node(0).Agent(func(a *core.Agent) {
+		job, e := a.Exec(imgName, nil, "")
+		if e != nil {
+			err = e
+			return
+		}
+		code, err = a.Wait(job)
+	})
+	c.Run(budget)
+	if err != nil {
+		t.Fatalf("%s: %v", imgName, err)
+	}
+	return code, c.Node(0).Display.Lines()
+}
+
+func TestHello(t *testing.T) {
+	code, lines := run(t, "hello", time.Minute, func(c *core.Cluster) { c.Install(Hello()) })
+	if code != 0 || len(lines) != 1 || lines[0] != "hello from the VVM" {
+		t.Fatalf("code=%d lines=%q", code, lines)
+	}
+}
+
+func TestPrimesMatchesSieve(t *testing.T) {
+	for _, n := range []uint32{10, 100, 1000} {
+		want := sieveCount(n)
+		code, lines := run(t, fmt.Sprintf("primes%d", n), 5*time.Minute,
+			func(c *core.Cluster) { c.Install(Primes(n)) })
+		if code != want {
+			t.Fatalf("primes(%d) exit = %d, want %d", n, code, want)
+		}
+		if len(lines) != 1 || lines[0] != fmt.Sprint(want) {
+			t.Fatalf("primes(%d) printed %q, want %d", n, lines, want)
+		}
+	}
+}
+
+func sieveCount(n uint32) uint32 {
+	if n < 3 {
+		return 0
+	}
+	composite := make([]bool, n)
+	var count uint32
+	for i := uint32(2); i < n; i++ {
+		if !composite[i] {
+			count++
+			for j := i * i; j < n; j += i {
+				composite[j] = true
+			}
+		}
+	}
+	return count
+}
+
+func TestTickerSequence(t *testing.T) {
+	code, lines := run(t, "ticker12", time.Minute, func(c *core.Cluster) { c.Install(Ticker(12)) })
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if len(lines) != 12 {
+		t.Fatalf("printed %d lines", len(lines))
+	}
+	for i, l := range lines {
+		if l != fmt.Sprintf("t%d", i+1) {
+			t.Fatalf("line %d = %q", i, l)
+		}
+	}
+}
+
+func TestMemWalkerDeterministicChecksum(t *testing.T) {
+	img := MemWalker(16, 5)
+	a, _ := run(t, img.Name, 5*time.Minute, func(c *core.Cluster) { c.Install(MemWalker(16, 5)) })
+	b, _ := run(t, img.Name, 5*time.Minute, func(c *core.Cluster) { c.Install(MemWalker(16, 5)) })
+	if a != b {
+		t.Fatalf("checksums differ: %#x vs %#x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("zero checksum")
+	}
+}
+
+// TestFileIOExercisesVVMSend runs the SEND-instruction program: a VVM
+// program performing real IPC transactions against the file server.
+func TestFileIOExercisesVVMSend(t *testing.T) {
+	c := core.NewCluster(core.Options{Workstations: 2, Seed: 21})
+	c.Install(FileIO())
+	var code uint32
+	var err error
+	c.Node(0).Agent(func(a *core.Agent) {
+		// Run it REMOTELY: the program's file I/O and output are both
+		// network-transparent.
+		job, e := a.Exec("fileio", nil, "ws1")
+		if e != nil {
+			err = e
+			return
+		}
+		code, err = a.Wait(job)
+	})
+	c.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	lines := c.Node(0).Display.Lines()
+	if len(lines) != 1 || lines[0] != "fileio ok" {
+		t.Fatalf("display = %q", lines)
+	}
+	got, ok := c.FS.Get("out.dat")
+	if !ok || string(got) != "FILEDATA12345678" {
+		t.Fatalf("file contents = %q, %v", got, ok)
+	}
+}
+
+// TestPrimesRangeParsesArgv verifies the argv path end to end: the program
+// manager writes the arguments into the environment block, and the VVM
+// program parses them with its atoi routine.
+func TestPrimesRangeParsesArgv(t *testing.T) {
+	c := core.NewCluster(core.Options{Workstations: 2, Seed: 22})
+	c.Install(PrimesRange())
+	var parts [2]uint32
+	var err error
+	c.Node(0).Agent(func(a *core.Agent) {
+		for i, r := range [][2]string{{"2", "100"}, {"100", "1000"}} {
+			job, e := a.Exec("primesrange", []string{r[0], r[1]}, "ws1")
+			if e != nil {
+				err = e
+				return
+			}
+			parts[i], err = a.Wait(job)
+			if err != nil {
+				return
+			}
+		}
+	})
+	c.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// π(100)=25, π(1000)-π(100)=168-25=143.
+	if parts[0] != 25 || parts[1] != 143 {
+		t.Fatalf("partial counts = %v, want [25 143]", parts)
+	}
+}

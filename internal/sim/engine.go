@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event heap. All simulated
+// activity — network frames, CPU slices, protocol timers, server logic —
+// runs as events on a single OS goroutine, or as coroutine Tasks that the
+// engine resumes one at a time. Because at most one task is runnable at any
+// instant and ties are broken by sequence number, a simulation with a fixed
+// seed is exactly reproducible.
+//
+// Time is modeled in virtual nanoseconds (Time); durations use the standard
+// time.Duration so that literals like 3*time.Millisecond read naturally.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since simulation boot.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// Duration converts t (an elapsed span measured from boot) to a Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// event is a scheduled callback.
+type event struct {
+	at      Time
+	seq     uint64 // FIFO tie-break for events at the same instant
+	fn      func()
+	stopped bool
+	index   int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event; Stop cancels it.
+type Timer struct{ ev *event }
+
+// Stop cancels the timer. It reports whether the timer was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.stopped {
+		return false
+	}
+	pending := t.ev.index >= 0
+	t.ev.stopped = true
+	return pending
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	running *Task // task currently executing, nil when in plain events
+	tasks   int   // live task count, for leak diagnostics
+}
+
+// NewEngine returns an engine with its virtual clock at zero and a
+// deterministic random source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded random source. All stochastic behaviour
+// in a simulation (loss, jitter) must draw from it to stay reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at instant t. Scheduling in the past is an error in
+// the simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step runs the next pending event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events until the event heap is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil processes events with timestamps <= t and then sets the clock to
+// t. Events scheduled later remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.stopped {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending reports the number of events still scheduled (including stopped
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveTasks reports the number of spawned tasks that have not finished.
+func (e *Engine) LiveTasks() int { return e.tasks }
+
+// Current returns the task executing right now, or nil when the engine is
+// running a plain event. Used by subsystems that need the calling task's
+// identity from deep in a call chain (for example a page-fault handler
+// that must block the faulting task).
+func (e *Engine) Current() *Task { return e.running }

@@ -1,0 +1,9 @@
+package sim
+
+// IsKill reports whether a recovered panic value is the task-kill signal.
+// Wrappers that install their own deferred recovery around task code must
+// re-panic kill signals so the task unwinds normally.
+func IsKill(r any) bool {
+	_, ok := r.(killSignal)
+	return ok
+}

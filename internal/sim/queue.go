@@ -1,0 +1,52 @@
+package sim
+
+import "time"
+
+// Queue is an unbounded FIFO connecting tasks and event callbacks. Push may
+// be called from anywhere on the engine; Pop blocks the calling task until
+// an item is available.
+type Queue[T any] struct {
+	items []T
+	wq    WaitQ
+}
+
+// Push appends v and wakes one waiting consumer.
+func (q *Queue[T]) Push(v T) {
+	q.items = append(q.items, v)
+	q.wq.WakeOne()
+}
+
+// Pop removes and returns the oldest item, blocking while the queue is
+// empty.
+func (q *Queue[T]) Pop(t *Task) T {
+	for len(q.items) == 0 {
+		q.wq.Wait(t)
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// PopTimeout is Pop with a deadline; ok is false if it expired first.
+func (q *Queue[T]) PopTimeout(t *Task, d time.Duration) (v T, ok bool) {
+	deadline := t.Now().Add(d)
+	for len(q.items) == 0 {
+		remain := deadline.Sub(t.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if q.wq.WaitTimeout(t, remain) == WakeTimeout {
+			// Re-check: an item may have been pushed at the same instant.
+			if len(q.items) > 0 {
+				break
+			}
+			return v, false
+		}
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[int]
+	var got []int
+	e.Spawn("consumer", func(tk *Task) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Pop(tk))
+		}
+	})
+	e.After(time.Millisecond, func() {
+		q.Push(1)
+		q.Push(2)
+		q.Push(3)
+	})
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[string]
+	var at Time
+	e.Spawn("consumer", func(tk *Task) {
+		q.Pop(tk)
+		at = tk.Now()
+	})
+	e.After(7*time.Millisecond, func() { q.Push("x") })
+	e.Run()
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("popped at %v", at)
+	}
+}
+
+func TestQueuePopTimeout(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[int]
+	okCount := 0
+	e.Spawn("consumer", func(tk *Task) {
+		if _, ok := q.PopTimeout(tk, 5*time.Millisecond); ok {
+			t.Error("pop on empty queue succeeded")
+		}
+		// Now an item arrives within the deadline.
+		if v, ok := q.PopTimeout(tk, 50*time.Millisecond); ok && v == 9 {
+			okCount++
+		}
+	})
+	e.After(10*time.Millisecond, func() { q.Push(9) })
+	e.Run()
+	if okCount != 1 {
+		t.Fatal("second pop did not get the item")
+	}
+}
+
+func TestQueueMultipleConsumers(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[int]
+	sum := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("c", func(tk *Task) {
+			sum += q.Pop(tk)
+		})
+	}
+	e.After(time.Millisecond, func() {
+		for i := 1; i <= 3; i++ {
+			q.Push(i)
+		}
+	})
+	e.Run()
+	if sum != 6 {
+		t.Fatalf("sum = %d", sum)
+	}
+	if e.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d", e.LiveTasks())
+	}
+}

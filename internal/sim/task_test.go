@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTaskSleep(t *testing.T) {
+	e := NewEngine(1)
+	var woke Time
+	e.Spawn("sleeper", func(tk *Task) {
+		tk.Sleep(7 * time.Millisecond)
+		woke = tk.Now()
+	})
+	e.Run()
+	if woke != Time(7*time.Millisecond) {
+		t.Fatalf("woke at %v, want 7ms", woke)
+	}
+	if e.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d, want 0", e.LiveTasks())
+	}
+}
+
+func TestTasksInterleaveDeterministically(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	mk := func(name string, period time.Duration) {
+		e.Spawn(name, func(tk *Task) {
+			for i := 0; i < 3; i++ {
+				tk.Sleep(period)
+				got = append(got, name)
+			}
+		})
+	}
+	mk("a", 2*time.Millisecond)
+	mk("b", 3*time.Millisecond)
+	e.Run()
+	// a wakes at 2,4,6ms; b wakes at 3,6,9ms. At the 6ms tie, b's wake was
+	// scheduled first (at 3ms vs 4ms), so FIFO puts b ahead of a.
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWaitQWakeOne(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQ
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("w", func(tk *Task) {
+			if r := q.Wait(tk); r != WakeSignal {
+				t.Errorf("reason = %v, want signal", r)
+			}
+			order = append(order, i)
+		})
+	}
+	e.After(time.Millisecond, func() {
+		if q.Len() != 3 {
+			t.Errorf("Len = %d, want 3", q.Len())
+		}
+		q.WakeOne()
+		q.WakeAll()
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("wake order = %v, want FIFO", order)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQ
+	var reason WakeReason
+	var at Time
+	e.Spawn("w", func(tk *Task) {
+		reason = q.WaitTimeout(tk, 5*time.Millisecond)
+		at = tk.Now()
+	})
+	e.Run()
+	if reason != WakeTimeout {
+		t.Fatalf("reason = %v, want timeout", reason)
+	}
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("woke at %v, want 5ms", at)
+	}
+	if q.Len() != 0 {
+		t.Fatal("timed-out waiter left in queue")
+	}
+}
+
+func TestWaitTimeoutSignaledFirst(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQ
+	var reason WakeReason
+	e.Spawn("w", func(tk *Task) {
+		reason = q.WaitTimeout(tk, 10*time.Millisecond)
+	})
+	e.After(2*time.Millisecond, func() { q.WakeOne() })
+	e.Run()
+	if reason != WakeSignal {
+		t.Fatalf("reason = %v, want signal", reason)
+	}
+	if e.Pending() != 0 {
+		// The timeout timer must have been stopped and discarded by Run.
+		t.Fatalf("pending events = %d, want 0", e.Pending())
+	}
+}
+
+func TestKillParkedTask(t *testing.T) {
+	e := NewEngine(1)
+	reached := false
+	tk := e.Spawn("victim", func(tk *Task) {
+		tk.Sleep(time.Hour)
+		reached = true
+	})
+	e.After(time.Millisecond, func() { tk.Kill() })
+	e.Run()
+	if reached {
+		t.Fatal("killed task kept running")
+	}
+	if !tk.Done() {
+		t.Fatal("killed task not done")
+	}
+	if e.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d, want 0", e.LiveTasks())
+	}
+}
+
+func TestKillTaskWaitingOnQueue(t *testing.T) {
+	e := NewEngine(1)
+	var q WaitQ
+	tk := e.Spawn("victim", func(tk *Task) {
+		q.Wait(tk)
+		t.Error("wait returned after kill")
+	})
+	e.After(time.Millisecond, func() { tk.Kill() })
+	e.Run()
+	if q.Len() != 0 {
+		t.Fatal("killed task left in wait queue")
+	}
+}
+
+func TestKillIdempotent(t *testing.T) {
+	e := NewEngine(1)
+	tk := e.Spawn("victim", func(tk *Task) { tk.Sleep(time.Hour) })
+	e.After(time.Millisecond, func() { tk.Kill(); tk.Kill() })
+	e.Run()
+	if !tk.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestKillBeforeFirstRun(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	tk := e.Spawn("victim", func(tk *Task) { ran = true })
+	tk.Kill()
+	e.Run()
+	if ran {
+		t.Fatal("killed-before-start task ran")
+	}
+	if e.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d", e.LiveTasks())
+	}
+}
+
+func TestTaskSpawnsTask(t *testing.T) {
+	e := NewEngine(1)
+	var childRan Time
+	e.Spawn("parent", func(tk *Task) {
+		tk.Sleep(time.Millisecond)
+		e.Spawn("child", func(c *Task) {
+			c.Sleep(time.Millisecond)
+			childRan = c.Now()
+		})
+		tk.Sleep(5 * time.Millisecond)
+	})
+	e.Run()
+	if childRan != Time(2*time.Millisecond) {
+		t.Fatalf("child ran at %v, want 2ms", childRan)
+	}
+}
+
+func TestYield(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Spawn("a", func(tk *Task) {
+		order = append(order, "a1")
+		tk.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(tk *Task) {
+		order = append(order, "b1")
+	})
+	e.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package vid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDRoundTrip(t *testing.T) {
+	p := NewPID(0x0102, 37)
+	if p.LH() != 0x0102 || p.Index() != 37 {
+		t.Fatalf("parts = %v/%d", p.LH(), p.Index())
+	}
+	if p.IsGroup() {
+		t.Fatal("ordinary PID classified as group")
+	}
+}
+
+func TestQuickPIDRoundTrip(t *testing.T) {
+	f := func(lh uint16, idx uint16) bool {
+		p := NewPID(LHID(lh), idx)
+		return p.LH() == LHID(lh) && p.Index() == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupClassification(t *testing.T) {
+	if !GroupProgramManagers.IsGroup() {
+		t.Fatal("PM group not a group")
+	}
+	if !LHID(0x8001).IsGroup() {
+		t.Fatal("high-bit LHID not group space")
+	}
+	if LHID(0x7FFF).IsGroup() {
+		t.Fatal("ordinary LHID in group space")
+	}
+}
+
+func TestWellKnownClassification(t *testing.T) {
+	cases := []struct {
+		pid  PID
+		want bool
+	}{
+		{NewPID(5, IdxKernelServer), true},
+		{NewPID(5, IdxProgramManager), true},
+		{NewPID(5, IdxFirstProcess), false},
+		{NewPID(5, 200), false},
+		{NewPID(5, 0), false},
+		{GroupProgramManagers, false},
+	}
+	for _, c := range cases {
+		if got := c.pid.IsWellKnown(); got != c.want {
+			t.Errorf("IsWellKnown(%v) = %v, want %v", c.pid, got, c.want)
+		}
+	}
+}
+
+func TestWellKnownGroupsDistinct(t *testing.T) {
+	seen := map[PID]bool{}
+	for _, g := range []PID{GroupProgramManagers, GroupFileServers, GroupNameServers} {
+		if seen[g] {
+			t.Fatal("duplicate well-known group id")
+		}
+		if !g.IsGroup() {
+			t.Fatalf("%v not a group", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Nil.String() != "pid:nil" {
+		t.Fatal(Nil.String())
+	}
+	if NewPID(0x0A, 16).String() == "" || LHID(3).String() == "" {
+		t.Fatal("empty strings")
+	}
+}
+
+func TestMessageCodes(t *testing.T) {
+	m := Message{Code: CodeOK}
+	if !m.OK() || m.Err() != nil {
+		t.Fatal("OK message misclassified")
+	}
+	e := ErrMsg(CodeNoMemory)
+	if e.OK() || e.Err() == nil {
+		t.Fatal("error message misclassified")
+	}
+	if CodeError(CodeTimeout).Error() != "v: timeout" {
+		t.Fatal(CodeError(CodeTimeout).Error())
+	}
+	// Unknown codes format without panicking.
+	if CodeError(999).Error() == "" {
+		t.Fatal("empty unknown code")
+	}
+}
+
+func TestMessageSegHelpers(t *testing.T) {
+	var m Message
+	m.PutString("hello")
+	if m.SegString() != "hello" {
+		t.Fatal(m.SegString())
+	}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

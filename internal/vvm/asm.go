@@ -1,0 +1,321 @@
+package vvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates VVM assembly text into bytecode loaded at CodeBase.
+//
+// Syntax: one instruction per line; `;` starts a comment; `label:` defines
+// a label (usable as a jump/call target or as an immediate `=label`);
+// registers are r0..r15; immediates are decimal, 0x hex, or 'c' character
+// constants. Directives:
+//
+//	.word v...    — emit 32-bit words
+//	.byte v...    — emit bytes
+//	.ascii "s"    — emit string bytes
+//	.space n      — emit n zero bytes
+//
+// Example:
+//
+//	        LDI r0, 0        ; sum
+//	        LDI r1, 1        ; i
+//	        LDI r2, 101
+//	loop:   ADD r0, r1
+//	        ADDI r1, 1
+//	        BLT r1, r2, loop
+//	        HALT r0
+func Assemble(src string) ([]byte, error) {
+	type fixup struct {
+		pos   int
+		label string
+		line  int
+	}
+	var (
+		out    []byte
+		labels = map[string]uint32{}
+		fixups []fixup
+	)
+	emit8 := func(b byte) { out = append(out, b) }
+	emit32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			if i := strings.IndexByte(line, ':'); i >= 0 && !strings.ContainsAny(line[:i], " \t\"") {
+				labels[line[:i]] = CodeBase + uint32(len(out))
+				line = strings.TrimSpace(line[i+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(line, " ")
+		mnem = strings.ToUpper(strings.TrimSpace(mnem))
+		args := splitArgs(rest)
+
+		argErr := func() error {
+			return fmt.Errorf("vvm: line %d: bad operands for %s: %q", ln+1, mnem, rest)
+		}
+		parseReg := func(s string) (byte, error) {
+			s = strings.ToLower(strings.TrimSpace(s))
+			if !strings.HasPrefix(s, "r") {
+				return 0, argErr()
+			}
+			v, err := strconv.Atoi(s[1:])
+			if err != nil || v < 0 || v >= NumRegs {
+				return 0, argErr()
+			}
+			return byte(v), nil
+		}
+		parseImm := func(s string) error {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				return argErr()
+			}
+			if lbl := strings.TrimPrefix(s, "="); lbl != s || isIdent(s) {
+				name := lbl
+				if isIdent(s) && lbl == s {
+					name = s
+				}
+				fixups = append(fixups, fixup{pos: len(out), label: name, line: ln + 1})
+				emit32(0)
+				return nil
+			}
+			if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+				emit32(uint32(s[1]))
+				return nil
+			}
+			v, err := strconv.ParseUint(s, 0, 32)
+			if err != nil {
+				// Allow negative immediates (two's complement).
+				sv, serr := strconv.ParseInt(s, 0, 64)
+				if serr != nil {
+					return argErr()
+				}
+				emit32(uint32(int32(sv)))
+				return nil
+			}
+			emit32(uint32(v))
+			return nil
+		}
+		rr := func(op byte) error {
+			if len(args) != 2 {
+				return argErr()
+			}
+			a, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			b, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			emit8(op)
+			emit8(a)
+			emit8(b)
+			return nil
+		}
+		rImm := func(op byte) error {
+			if len(args) != 2 {
+				return argErr()
+			}
+			a, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			emit8(op)
+			emit8(a)
+			return parseImm(args[1])
+		}
+		rrImm := func(op byte) error {
+			if len(args) != 3 {
+				return argErr()
+			}
+			a, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			b, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			emit8(op)
+			emit8(a)
+			emit8(b)
+			return parseImm(args[2])
+		}
+		r1 := func(op byte) error {
+			if len(args) != 1 {
+				return argErr()
+			}
+			a, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			emit8(op)
+			emit8(a)
+			return nil
+		}
+		immOnly := func(op byte) error {
+			if len(args) != 1 {
+				return argErr()
+			}
+			emit8(op)
+			return parseImm(args[0])
+		}
+
+		var err error
+		switch mnem {
+		case "NOP":
+			emit8(NOP)
+		case "HALT":
+			err = r1(HALT)
+		case "LDI":
+			err = rImm(LDI)
+		case "MOV":
+			err = rr(MOV)
+		case "ADD":
+			err = rr(ADD)
+		case "SUB":
+			err = rr(SUB)
+		case "MUL":
+			err = rr(MUL)
+		case "DIV":
+			err = rr(DIV)
+		case "MOD":
+			err = rr(MOD)
+		case "AND":
+			err = rr(AND)
+		case "OR":
+			err = rr(OR)
+		case "XOR":
+			err = rr(XOR)
+		case "SHL":
+			err = rr(SHL)
+		case "SHR":
+			err = rr(SHR)
+		case "ADDI":
+			err = rImm(ADDI)
+		case "LD":
+			err = rrImm(LD)
+		case "ST":
+			err = rrImm(ST)
+		case "LDB":
+			err = rrImm(LDB)
+		case "STB":
+			err = rrImm(STB)
+		case "JMP":
+			err = immOnly(JMP)
+		case "BEQ":
+			err = rrImm(BEQ)
+		case "BNE":
+			err = rrImm(BNE)
+		case "BLT":
+			err = rrImm(BLT)
+		case "BGE":
+			err = rrImm(BGE)
+		case "CALL":
+			err = immOnly(CALL)
+		case "RET":
+			emit8(RET)
+		case "PUSH":
+			err = r1(PUSH)
+		case "POP":
+			err = r1(POP)
+		case "RND":
+			err = rr(RND)
+		case "SEND":
+			err = r1(SEND)
+		case "OUT":
+			err = rr(OUT)
+		case ".WORD":
+			for _, a := range args {
+				if err = parseImm(a); err != nil {
+					break
+				}
+			}
+		case ".BYTE":
+			for _, a := range args {
+				v, perr := strconv.ParseUint(strings.TrimSpace(a), 0, 8)
+				if perr != nil {
+					err = argErr()
+					break
+				}
+				emit8(byte(v))
+			}
+		case ".ASCII":
+			str, perr := strconv.Unquote(strings.TrimSpace(rest))
+			if perr != nil {
+				err = argErr()
+			} else {
+				out = append(out, str...)
+			}
+		case ".SPACE":
+			v, perr := strconv.ParseUint(strings.TrimSpace(rest), 0, 24)
+			if perr != nil {
+				err = argErr()
+			} else {
+				out = append(out, make([]byte, v)...)
+			}
+		default:
+			err = fmt.Errorf("vvm: line %d: unknown mnemonic %q", ln+1, mnem)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, fx := range fixups {
+		addr, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("vvm: line %d: undefined label %q", fx.line, fx.label)
+		}
+		binary.LittleEndian.PutUint32(out[fx.pos:], addr)
+	}
+	return out, nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// isIdent reports whether s looks like a label reference rather than a
+// number or register.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+		return false
+	}
+	// Registers are not labels.
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		if _, err := strconv.Atoi(s[1:]); err == nil {
+			return false
+		}
+	}
+	return true
+}

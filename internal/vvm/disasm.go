@@ -1,0 +1,111 @@
+package vvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// instrSpec describes an instruction's operand shape for the disassembler.
+type instrSpec struct {
+	name string
+	// operand string: "" none, "r" one register, "rr" two registers,
+	// "ri" register+imm, "rri" two registers+imm, "i" imm only.
+	ops string
+}
+
+var specs = map[byte]instrSpec{
+	NOP:  {"NOP", ""},
+	HALT: {"HALT", "r"},
+	LDI:  {"LDI", "ri"},
+	MOV:  {"MOV", "rr"},
+	ADD:  {"ADD", "rr"},
+	SUB:  {"SUB", "rr"},
+	MUL:  {"MUL", "rr"},
+	DIV:  {"DIV", "rr"},
+	MOD:  {"MOD", "rr"},
+	AND:  {"AND", "rr"},
+	OR:   {"OR", "rr"},
+	XOR:  {"XOR", "rr"},
+	SHL:  {"SHL", "rr"},
+	SHR:  {"SHR", "rr"},
+	ADDI: {"ADDI", "ri"},
+	LD:   {"LD", "rri"},
+	ST:   {"ST", "rri"},
+	LDB:  {"LDB", "rri"},
+	STB:  {"STB", "rri"},
+	JMP:  {"JMP", "i"},
+	BEQ:  {"BEQ", "rri"},
+	BNE:  {"BNE", "rri"},
+	BLT:  {"BLT", "rri"},
+	BGE:  {"BGE", "rri"},
+	CALL: {"CALL", "i"},
+	RET:  {"RET", ""},
+	PUSH: {"PUSH", "r"},
+	POP:  {"POP", "r"},
+	RND:  {"RND", "rr"},
+	SEND: {"SEND", "r"},
+	OUT:  {"OUT", "rr"},
+}
+
+// Disassemble renders bytecode as assembly text that Assemble accepts
+// (immediates as hex numbers; bytes that do not decode as instructions
+// become .byte directives). Addresses assume the code is loaded at
+// CodeBase.
+func Disassemble(code []byte) string {
+	var b strings.Builder
+	pc := 0
+	emitByte := func() {
+		fmt.Fprintf(&b, "        .byte %d\n", code[pc])
+		pc++
+	}
+	for pc < len(code) {
+		spec, ok := specs[code[pc]]
+		if !ok {
+			emitByte()
+			continue
+		}
+		need := 1
+		for _, c := range spec.ops {
+			if c == 'r' {
+				need++
+			} else {
+				need += 4
+			}
+		}
+		if pc+need > len(code) {
+			emitByte()
+			continue
+		}
+		start := pc
+		pc++
+		var parts []string
+		valid := true
+		for _, c := range spec.ops {
+			if c == 'r' {
+				r := code[pc]
+				if int(r) >= NumRegs {
+					valid = false
+					break
+				}
+				parts = append(parts, fmt.Sprintf("r%d", r))
+				pc++
+			} else {
+				v := binary.LittleEndian.Uint32(code[pc:])
+				parts = append(parts, fmt.Sprintf("%#x", v))
+				pc += 4
+			}
+		}
+		if !valid {
+			pc = start
+			emitByte()
+			continue
+		}
+		if len(parts) == 0 {
+			fmt.Fprintf(&b, "        %s\n", spec.name)
+		} else {
+			fmt.Fprintf(&b, "        %s %s\n", spec.name, strings.Join(parts, ", "))
+		}
+	}
+	return b.String()
+}

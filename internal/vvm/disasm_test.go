@@ -1,0 +1,149 @@
+package vvm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDisassembleKnownProgram(t *testing.T) {
+	code, err := Assemble(`
+        LDI r0, 0x2A
+        PUSH r0
+        POP r1
+        HALT r1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(code)
+	for _, want := range []string{"LDI r0, 0x2a", "PUSH r0", "POP r1", "HALT r1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestDisassembleGarbageFallsBackToBytes(t *testing.T) {
+	text := Disassemble([]byte{0xEE, 0xFF})
+	if strings.Count(text, ".byte") != 2 {
+		t.Fatalf("garbage not rendered as bytes:\n%s", text)
+	}
+	// Reassembling the fallback reproduces the original bytes.
+	code, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(code, []byte{0xEE, 0xFF}) {
+		t.Fatalf("fallback round trip = % x", code)
+	}
+}
+
+func TestDisassembleTruncatedInstruction(t *testing.T) {
+	// LDI needs 6 bytes; give it 3. The fallback may decode trailing
+	// bytes as shorter instructions (0x00 is NOP), but reassembly must
+	// reproduce the original bytes exactly.
+	in := []byte{LDI, 0, 0x12}
+	text := Disassemble(in)
+	if !strings.Contains(text, ".byte") {
+		t.Fatalf("truncated instruction not byte-dumped:\n%s", text)
+	}
+	code, err := Assemble(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(code, in) {
+		t.Fatalf("round trip = % x, want % x", code, in)
+	}
+}
+
+// randomProgram builds syntactically valid assembly from the instruction
+// templates.
+func randomProgram(rng *rand.Rand, n int) string {
+	var b strings.Builder
+	reg := func() string { return fmt.Sprintf("r%d", rng.Intn(NumRegs)) }
+	imm := func() string { return fmt.Sprintf("%#x", rng.Uint32()) }
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			fmt.Fprintf(&b, "NOP\n")
+		case 1:
+			fmt.Fprintf(&b, "LDI %s, %s\n", reg(), imm())
+		case 2:
+			fmt.Fprintf(&b, "ADD %s, %s\n", reg(), reg())
+		case 3:
+			fmt.Fprintf(&b, "ST %s, %s, %s\n", reg(), reg(), imm())
+		case 4:
+			fmt.Fprintf(&b, "BNE %s, %s, %s\n", reg(), reg(), imm())
+		case 5:
+			fmt.Fprintf(&b, "PUSH %s\n", reg())
+		case 6:
+			fmt.Fprintf(&b, "RET\n")
+		case 7:
+			fmt.Fprintf(&b, "OUT %s, %s\n", reg(), reg())
+		}
+	}
+	return b.String()
+}
+
+// Property: assemble → disassemble → assemble is byte-identical for any
+// valid instruction sequence.
+func TestQuickAssembleDisassembleRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomProgram(rng, int(n%64)+1)
+		code1, err := Assemble(src)
+		if err != nil {
+			t.Logf("assemble failed for:\n%s", src)
+			return false
+		}
+		code2, err := Assemble(Disassemble(code1))
+		if err != nil {
+			t.Logf("reassemble failed for:\n%s", Disassemble(code1))
+			return false
+		}
+		return bytes.Equal(code1, code2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every real program in this repo disassembles and reassembles
+// to identical bytes.
+func TestDisassembleRealProgramsRoundTrip(t *testing.T) {
+	srcs := []string{
+		`
+        LDI r0, 0
+        LDI r1, 1
+        LDI r2, 101
+loop:   ADD r0, r1
+        ADDI r1, 1
+        BLT r1, r2, loop
+        HALT r0
+`,
+		`
+        LDI r0, 7
+        CALL fn
+        HALT r0
+fn:     ADD r0, r0
+        RET
+`,
+	}
+	for _, src := range srcs {
+		code1, err := Assemble(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code2, err := Assemble(Disassemble(code1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(code1, code2) {
+			t.Fatalf("round trip mismatch for:\n%s", src)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package workload
+
+import "vsystem/internal/image"
+
+// Paper workload parameters, fitted to Table 4-1 ("dirty page generation
+// rates, in Kbytes") with the hot-set + stream model:
+//
+//	dirty(t) ≈ HotKB·(1-e^(-HotRate·t/HotKB)) + Stream·t
+//
+// The stream rate comes from the 1 s → 3 s slope, the hot-set size from
+// the saturated residue at 1 s and 3 s, and the hot touch rate from the
+// 0.2 s point. EXPERIMENTS.md records paper-vs-measured for all 24 cells.
+//
+// The image pad sizes model realistically sized 68010 binaries so the
+// program-load experiment (330 ms / 100 KB) sweeps a realistic range.
+
+// Paper table targets (KB dirtied in 0.2 s / 1 s / 3 s), for reference and
+// assertions.
+var Table41 = map[string][3]float64{
+	"make":         {0.8, 1.8, 4.2},
+	"cc68":         {0.6, 2.2, 6.2},
+	"preprocessor": {25.0, 40.2, 59.6},
+	"parser":       {50.0, 76.8, 109.4},
+	"optimizer":    {19.8, 32.2, 41.0},
+	"assembler":    {21.6, 33.4, 48.4},
+	"linkloader":   {25.0, 39.2, 37.8},
+	"tex":          {68.6, 111.6, 142.8},
+}
+
+// PaperSpecs returns the eight calibrated workloads. Durations are long
+// enough for the dirty-rate and migration experiments; run them with
+// DurationMs overridden for longer scenarios.
+func PaperSpecs() []Spec {
+	return []Spec{
+		{Name: "make", HotKB: 0.9, HotRateKBps: 4, StreamKBps: 1.2, StreamKB: 64, DurationMs: 30000},
+		{Name: "cc68", HotKB: 0.3, HotRateKBps: 3, StreamKBps: 2.0, StreamKB: 64, DurationMs: 30000},
+		{Name: "preprocessor", HotKB: 30.5, HotRateKBps: 215, StreamKBps: 9.7, StreamKB: 128, DurationMs: 20000},
+		{Name: "parser", HotKB: 60.5, HotRateKBps: 448, StreamKBps: 16.3, StreamKB: 160, DurationMs: 20000},
+		{Name: "optimizer", HotKB: 27.8, HotRateKBps: 159, StreamKBps: 4.4, StreamKB: 96, DurationMs: 20000},
+		{Name: "assembler", HotKB: 25.9, HotRateKBps: 194, StreamKBps: 7.5, StreamKB: 96, DurationMs: 20000},
+		{Name: "linkloader", HotKB: 39.0, HotRateKBps: 200, StreamKBps: 0, StreamKB: 32, DurationMs: 20000},
+		{Name: "tex", HotKB: 96.0, HotRateKBps: 550, StreamKBps: 15.6, StreamKB: 192, DurationMs: 30000},
+	}
+}
+
+// PaperSpec returns one named paper workload.
+func PaperSpec(name string) (Spec, bool) {
+	for _, s := range PaperSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// paperImageSizes approximates the binaries' stored sizes (bytes of pad
+// beyond the spec blob).
+var paperImageSizes = map[string]uint32{
+	"make":         40 * 1024,
+	"cc68":         25 * 1024,
+	"preprocessor": 60 * 1024,
+	"parser":       120 * 1024,
+	"optimizer":    90 * 1024,
+	"assembler":    70 * 1024,
+	"linkloader":   55 * 1024,
+	"tex":          220 * 1024,
+}
+
+// PaperImages builds loadable images for all eight programs.
+func PaperImages() []*image.Image {
+	var out []*image.Image
+	for _, spec := range PaperSpecs() {
+		out = append(out, Image(spec, paperImageSizes[spec.Name]))
+	}
+	return out
+}

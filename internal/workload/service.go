@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"time"
+
+	"vsystem/internal/image"
+	"vsystem/internal/ipc"
+	"vsystem/internal/kernel"
+	"vsystem/internal/vvm"
+)
+
+// ServiceKind is the body-registry key for the echo service: a migratable
+// *server* program — the paper's "floating server processes such as a
+// transaction manager that are not tied to a particular hardware device"
+// (§4.3). It answers OpEchoService requests, charging a small service
+// cost, and survives migration mid-service: requests received but not yet
+// answered migrate with the port state and are answered from the new
+// host.
+const ServiceKind = "echoservice"
+
+// OpEchoService echoes W back with W[1] incremented (a visible service
+// effect the experiments can verify).
+const OpEchoService uint16 = 0x80
+
+// serviceCPU is the per-request service time.
+const serviceCPU = 2 * time.Millisecond
+
+func init() {
+	kernel.RegisterBody(ServiceKind, func() kernel.Body {
+		return kernel.BodyFunc(runService)
+	})
+}
+
+// ServiceImage builds a loadable image for the echo service.
+func ServiceImage(name string) *image.Image {
+	return &image.Image{
+		Name:      name,
+		Kind:      ServiceKind,
+		SpaceSize: vvm.CodeBase + serviceFootprint + 64*1024,
+	}
+}
+
+// serviceFootprint is the service's in-memory state (transaction tables,
+// logs): it makes migration move a realistic amount of data.
+const serviceFootprint = 256 * 1024
+
+func runService(ctx *kernel.ProcCtx) {
+	r := ctx.Regs()
+	as := ctx.Space()
+	// Phase 0: allocate the service's state, resumably.
+	for r.W[kernel.RegPhase] == 0 {
+		pos := r.W[kernel.RegUser]
+		if pos >= serviceFootprint {
+			r.W[kernel.RegPhase] = 1
+			break
+		}
+		as.WriteWord(vvm.CodeBase+pos, pos)
+		r.W[kernel.RegUser] = pos + 1024
+		if pos%(8*1024) == 0 {
+			ctx.Steps(1000)
+		}
+	}
+	serve := func(req *ipc.Req) {
+		ctx.Compute(serviceCPU)
+		m := req.Msg
+		m.W[1]++
+		// Each transaction updates the service state (dirties a page).
+		r.W[kernel.RegUser+1] = (r.W[kernel.RegUser+1] + 4096) % serviceFootprint
+		as.WriteWord(vvm.CodeBase+r.W[kernel.RegUser+1], m.W[0])
+		ctx.Reply(req, m)
+	}
+	// Finish anything that was mid-service when a migration froze us.
+	for _, req := range ctx.OpenRequests() {
+		serve(req)
+	}
+	for {
+		serve(ctx.Receive())
+	}
+}
