@@ -8,9 +8,11 @@
 //	vbench -list            # list experiment ids
 //	vbench -seed 7          # change the simulation seed
 //	vbench -root .          # repo root, for the space-cost experiment
+//	vbench -json            # emit machine-readable paper-vs-measured rows
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +22,11 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("e", "", "run a single experiment id (see -list)")
-		seed = flag.Int64("seed", 1, "simulation seed")
-		list = flag.Bool("list", false, "list experiment ids")
-		root = flag.String("root", ".", "repository root (for the space experiment)")
+		exp    = flag.String("e", "", "run a single experiment id (see -list)")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		list   = flag.Bool("list", false, "list experiment ids")
+		root   = flag.String("root", ".", "repository root (for the space experiment)")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of formatted text")
 	)
 	flag.Parse()
 
@@ -36,8 +39,13 @@ func main() {
 	}
 
 	fail := 0
+	var results []*experiments.Result
 	run := func(r *experiments.Result) {
-		fmt.Println(r.Format())
+		if *asJSON {
+			results = append(results, r)
+		} else {
+			fmt.Println(r.Format())
+		}
 		if !r.Pass {
 			fail++
 		}
@@ -58,6 +66,14 @@ func main() {
 			run(r)
 		}
 		run(experiments.SpaceCost(*root))
+	}
+	if *asJSON {
+		b, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
 	}
 	if fail > 0 {
 		fmt.Fprintf(os.Stderr, "vbench: %d experiment(s) failed shape assertions\n", fail)

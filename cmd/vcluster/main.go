@@ -18,6 +18,8 @@
 //	advance <dur>              advance virtual time (e.g. 2s, 500ms)
 //	names                      list global name-service bindings
 //	stats                      cluster-wide metrics snapshot
+//	trace on|off               stream trace-bus events (packet, freeze,
+//	                           rebind, loss) as the simulation advances
 //	loss <p>                   set the Ethernet frame-loss probability
 //	hosts                      list workstations
 //	time                       print the virtual clock
@@ -45,6 +47,7 @@ import (
 	"vsystem/internal/core"
 	"vsystem/internal/nameserver"
 	"vsystem/internal/progs"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 	"vsystem/internal/workload"
 )
@@ -75,10 +78,11 @@ func main() {
 }
 
 type repl struct {
-	c      *core.Cluster
-	jobs   map[string]*core.Job
-	jobSeq int
-	out    io.Writer
+	c       *core.Cluster
+	jobs    map[string]*core.Job
+	jobSeq  int
+	out     io.Writer
+	traceOn bool
 }
 
 // newRepl boots a cluster with the standard images installed.
@@ -93,7 +97,40 @@ func newRepl(opt core.Options, out io.Writer) *repl {
 	for _, img := range workload.PaperImages() {
 		c.Install(img)
 	}
-	return &repl{c: c, jobs: map[string]*core.Job{}, out: out}
+	r := &repl{c: c, jobs: map[string]*core.Job{}, out: out}
+	c.Trace.Subscribe(r.printEvent)
+	c.Trace.SubscribeSpans(r.printSpan)
+	return r
+}
+
+// printEvent streams one trace-bus event while `trace on`. Receive,
+// frame-transmit and scheduler-dispatch events are suppressed: they mirror
+// the transmit events (or fire every quantum) and would drown the log.
+func (r *repl) printEvent(ev trace.Event) {
+	if !r.traceOn {
+		return
+	}
+	switch ev.Kind {
+	case trace.EvPktRx, trace.EvFrameTx, trace.EvDispatch:
+		return
+	}
+	switch {
+	case ev.Pkt != nil:
+		r.printf("trace %12v host%d %-13v %v %v→%v",
+			ev.At, ev.Host, ev.Kind, ev.Pkt.Kind, ev.Pkt.Src, ev.Pkt.Dst)
+	case ev.LH != 0:
+		r.printf("trace %12v host%d %-13v lh=%v", ev.At, ev.Host, ev.Kind, ev.LH)
+	default:
+		r.printf("trace %12v host%d %-13v %dB→host%d", ev.At, ev.Host, ev.Kind, ev.Size, ev.Peer)
+	}
+}
+
+// printSpan streams one completed migration phase while `trace on`.
+func (r *repl) printSpan(s trace.Span) {
+	if !r.traceOn {
+		return
+	}
+	r.printf("trace span %v", s)
 }
 
 func (r *repl) printf(f string, a ...any) { fmt.Fprintf(r.out, f+"\n", a...) }
@@ -338,10 +375,23 @@ func (r *repl) exec(line string) bool {
 		r.printf("t=%v  frames=%d lost=%d bus-busy=%v  fileserver-frames=%d",
 			st.VirtualTime, st.Frames, st.FramesLost, st.BusBusy, st.ServerFrames)
 		for _, h := range st.Hosts {
-			r.printf("  %-5s util=%5.1f%% guests=%d locals=%d memfree=%dK retx=%d tx/rx=%d/%d",
+			r.printf("  %-5s util=%5.1f%% guests=%d locals=%d memfree=%dK pkts=%d/%d retx=%d locates=%d freezes=%d frozen=%v",
 				h.Name, h.Utilization*100, h.Guests, h.Locals, h.MemFreeKB,
-				h.Retransmits, h.TxFrames, h.RxFrames)
+				h.TxPackets, h.RxPackets, h.Retransmits, h.Locates, h.Freezes, h.FrozenTime)
 		}
+		tb := r.c.Trace
+		r.printf("  events: tx=%d local=%d retx=%d drop=%d frame-drop=%d reply-pending=%d locate=%d rebind=%d freeze=%d",
+			tb.Count(trace.EvPktTx), tb.Count(trace.EvPktLocal), tb.Count(trace.EvPktRetx),
+			tb.Count(trace.EvPktDrop), tb.Count(trace.EvFrameDrop), tb.Count(trace.EvReplyPending),
+			tb.Count(trace.EvLocate), tb.Count(trace.EvRebind), tb.Count(trace.EvFreeze))
+
+	case "trace":
+		if len(f) < 2 || (f[1] != "on" && f[1] != "off") {
+			r.printf("! trace on|off")
+			break
+		}
+		r.traceOn = f[1] == "on"
+		r.printf("trace %s", f[1])
 
 	case "loss":
 		if len(f) < 2 {

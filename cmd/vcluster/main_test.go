@@ -137,6 +137,37 @@ loss 0
 	}
 }
 
+func TestScriptedTraceAndStats(t *testing.T) {
+	out := script(t, core.Options{Workstations: 3, Seed: 8}, `
+trace on
+run tex @ ws1
+advance 3s
+migrate j1
+trace off
+stats
+trace bogus
+`)
+	for _, w := range []string{
+		"trace on",
+		"trace span", // migration phase spans streamed
+		" freeze[",   // ... including the freeze window
+		" rebind ",   // rebind broadcast event
+		"tex migrated (precopy)",
+		"trace off",
+		"pkts=",       // per-host packet counters
+		"freezes=",    // per-host freeze metrics
+		"events: tx=", // bus-wide event counts
+		"! trace on|off",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("output missing %q:\n%s", w, out)
+		}
+	}
+	if strings.Contains(strings.SplitN(out, "trace off", 2)[1], "trace span") {
+		t.Fatalf("trace kept streaming after trace off:\n%s", out)
+	}
+}
+
 func TestScriptedProgramArguments(t *testing.T) {
 	out := script(t, core.Options{Workstations: 2, Seed: 7}, `
 run primesrange 2 100 @ ws1

@@ -18,6 +18,7 @@ import (
 	"vsystem/internal/nameserver"
 	"vsystem/internal/progmgr"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -46,6 +47,9 @@ type Cluster struct {
 	FS     *fileserver.Server
 	// NS is the global name server (resident on the server machine).
 	NS *nameserver.Server
+	// Trace is the cluster-wide event bus and metrics registry; every
+	// layer (ethernet, ipc, kernel, migration) publishes into it.
+	Trace *trace.Bus
 
 	agents int
 	pagers map[vid.LHID]*PagerStats
@@ -76,9 +80,23 @@ func NewCluster(opt Options) *Cluster {
 	if opt.LossRate > 0 {
 		bus.SetLoss(ethernet.RandomLoss(eng, opt.LossRate))
 	}
-	c := &Cluster{Sim: eng, Bus: bus}
+	tb := trace.NewBus()
+	bus.SetTraceBus(tb)
+	c := &Cluster{Sim: eng, Bus: bus, Trace: tb}
+	tb.RegisterSource("net", func() []trace.Metric {
+		bs := bus.Stats()
+		return []trace.Metric{
+			{Name: "frames", Value: float64(bs.Frames)},
+			{Name: "bytes", Value: float64(bs.Bytes)},
+			{Name: "dropped", Value: float64(bs.Dropped)},
+			{Name: "broadcasts", Value: float64(bs.Broadcasts)},
+			{Name: "busy_ms", Value: bs.BusyTime.Seconds() * 1000},
+		}
+	})
 	for i := 0; i < opt.Workstations; i++ {
 		h := kernel.NewHost(eng, bus, i, fmt.Sprintf("ws%d", i))
+		h.AttachTrace(tb)
+		registerHostMetrics(tb, h)
 		n := &Node{Host: h, cluster: c}
 		n.PM = progmgr.Start(h)
 		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c}
@@ -86,6 +104,8 @@ func NewCluster(opt Options) *Cluster {
 		c.Nodes = append(c.Nodes, n)
 	}
 	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
+	c.FSHost.AttachTrace(tb)
+	registerHostMetrics(tb, c.FSHost)
 	c.FS = fileserver.Start(c.FSHost)
 	c.NS = nameserver.Start(c.FSHost)
 	// Resident servers announce themselves to the global name service.
@@ -95,6 +115,28 @@ func NewCluster(opt Options) *Cluster {
 		nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())
 	}
 	return c
+}
+
+// registerHostMetrics exposes one host's counters through the trace bus's
+// metrics registry. Every metric function takes fresh Stats() snapshots —
+// never references into live counters.
+func registerHostMetrics(tb *trace.Bus, h *kernel.Host) {
+	tb.RegisterSource("host/"+h.Name, func() []trace.Metric {
+		st := h.IPC.Stats()
+		freezes, frozen := h.FreezeStats()
+		return []trace.Metric{
+			{Name: "tx_packets", Value: float64(st.TxPackets)},
+			{Name: "rx_packets", Value: float64(st.RxPackets)},
+			{Name: "rx_corrupt", Value: float64(st.RxCorrupt)},
+			{Name: "retransmits", Value: float64(st.Retransmits)},
+			{Name: "locates", Value: float64(st.Locates)},
+			{Name: "reply_pendings", Value: float64(st.ReplyPendings)},
+			{Name: "local_deliveries", Value: float64(st.LocalDeliveries)},
+			{Name: "freezes", Value: float64(freezes)},
+			{Name: "frozen_ms", Value: frozen.Seconds() * 1000},
+			{Name: "cpu_util", Value: h.CPU.Utilization()},
+		}
+	})
 }
 
 // Install stores a program image on the file server.
@@ -203,7 +245,12 @@ type HostStats struct {
 	MemFreeKB   uint32
 	Guests      int
 	Locals      int
+	TxPackets   int64
+	RxPackets   int64
 	Retransmits int64
+	Locates     int64
+	Freezes     int64
+	FrozenTime  time.Duration
 	TxFrames    int64
 	RxFrames    int64
 }
@@ -218,13 +265,20 @@ func (c *Cluster) Snapshot() Stats {
 		BusBusy:     bs.BusyTime,
 	}
 	for _, n := range c.Nodes {
+		ipcStats := n.Host.IPC.Stats()
+		freezes, frozen := n.Host.FreezeStats()
 		hs := HostStats{
 			Name:        n.Name(),
 			Utilization: n.Host.CPU.Utilization(),
 			Idle:        n.Host.CPU.Idle(),
 			Crashed:     n.Host.Crashed(),
 			MemFreeKB:   n.Host.MemFree() / 1024,
-			Retransmits: n.Host.IPC.Stats().Retransmits,
+			TxPackets:   ipcStats.TxPackets,
+			RxPackets:   ipcStats.RxPackets,
+			Retransmits: ipcStats.Retransmits,
+			Locates:     ipcStats.Locates,
+			Freezes:     freezes,
+			FrozenTime:  frozen,
 		}
 		hs.TxFrames, hs.RxFrames = n.Host.NIC.Counters()
 		for _, lh := range n.Host.LHs() {

@@ -12,6 +12,7 @@ import (
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -111,6 +112,13 @@ type Migrator struct {
 
 var _ progmgr.Migrator = (*Migrator)(nil)
 
+// span publishes a completed migration phase to the cluster's trace bus.
+func (mg *Migrator) span(s trace.Span) {
+	if mg.Cluster != nil {
+		mg.Cluster.Trace.PublishSpan(s)
+	}
+}
+
 // Migrate moves lh to another workstation per §3.1:
 //
 //  1. locate a willing host via the program-manager group;
@@ -160,6 +168,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	tempLH := vid.LHID(initRep.W[0])
 	targetKS := kernel.KernelServerPID(vid.LHID(initRep.W[1]))
 	rep.NewPM = vid.PID(initRep.W[5])
+	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSelect, Start: start, End: ctx.Now()})
 
 	fail := func() (*MigrationReport, error) {
 		// Copy failed: assume the new host is gone, unfreeze the old copy
@@ -189,6 +198,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		}
 		rep.ResidualKB = kb
 		rep.Rounds = append(rep.Rounds, RoundStat{Pages: int(kb), KB: kb, Dur: ctx.Now().Sub(mg.freezeStart)})
+		mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
 	case PolicyFlush:
 		if err := mg.flushOut(ctx, pm, lh, rep); err != nil {
 			return fail()
@@ -218,6 +228,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		return fail()
 	}
 	rep.KernelTime = ctx.Now().Sub(kStart)
+	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSwap, Start: kStart, End: ctx.Now()})
 	if mg.Policy == PolicyFlush {
 		// Configure demand paging on the new copy before it runs.
 		mg.installPager(lh.ID(), sel.SystemLH)
@@ -230,6 +241,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	if mg.Policy == PolicyForwarding {
 		broadcast = 0
 	}
+	rbStart := ctx.Now()
 	m, err = ctx.Send(targetKS, vid.Message{
 		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(lh.ID()), broadcast},
 	})
@@ -237,6 +249,10 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		return fail()
 	}
 	rep.FreezeTime = ctx.Now().Sub(mg.freezeStart)
+	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseRebind, Start: rbStart, End: ctx.Now()})
+	// The freeze window encloses residue, swap and rebind; its duration is
+	// by construction the report's FreezeTime.
+	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseFreeze, Start: mg.freezeStart, End: ctx.Now()})
 	if mg.Policy == PolicyForwarding {
 		// Demos/MP comparator: leave a forwarding address on this host.
 		host.IPC.SetForward(lh.ID(), targetMAC(sel))
@@ -287,6 +303,10 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 		rep.Rounds = append(rep.Rounds, RoundStat{
 			Pages: pageCount(pending), KB: kbOf(pending), Dur: dur,
 		})
+		mg.span(trace.Span{
+			LH: lh.ID(), Phase: trace.PhasePrecopy, Round: round,
+			KB: kbOf(pending), Start: roundStart, End: ctx.Now(),
+		})
 
 		// Pages dirtied during this round (snapshot clears the bits; the
 		// freeze decision below happens atomically with the snapshot).
@@ -303,6 +323,12 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 			mg.freezeStart = ctx.Now()
 			rep.ResidualKB = dirtyKB
 			_, err := mg.copyRuns(ctx, tempLH, targetKS, dirty, rep)
+			if err == nil {
+				mg.span(trace.Span{
+					LH: lh.ID(), Phase: trace.PhaseResidue, KB: dirtyKB,
+					Start: mg.freezeStart, End: ctx.Now(),
+				})
+			}
 			return err
 		}
 		pending = dirty

@@ -8,6 +8,7 @@ import (
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -43,6 +44,10 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 		rep.Rounds = append(rep.Rounds, RoundStat{
 			Pages: pageCount(pending), KB: kbOf(pending), Dur: ctx.Now().Sub(roundStart),
 		})
+		mg.span(trace.Span{
+			LH: lh.ID(), Phase: trace.PhasePrecopy, Round: round,
+			KB: kbOf(pending), Start: roundStart, End: ctx.Now(),
+		})
 		var dirty []spacePages
 		for _, as := range lh.Spaces() {
 			dirty = append(dirty, spacePages{as, as.SnapshotDirty()})
@@ -54,7 +59,14 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 			pm.Host().Freeze(lh)
 			mg.freezeStart = ctx.Now()
 			rep.ResidualKB = dirtyKB
-			return mg.flushPages(ctx, fs, prefix, dirty, rep)
+			if err := mg.flushPages(ctx, fs, prefix, dirty, rep); err != nil {
+				return err
+			}
+			mg.span(trace.Span{
+				LH: lh.ID(), Phase: trace.PhaseResidue, KB: dirtyKB,
+				Start: mg.freezeStart, End: ctx.Now(),
+			})
+			return nil
 		}
 		pending = dirty
 	}

@@ -48,12 +48,18 @@ type CPU struct {
 	busy     [params.NumPrios]time.Duration
 	total    time.Duration
 	started  sim.Time
+	dispatch func(prio int, slice time.Duration)
 }
 
 // New creates an idle CPU on the engine.
 func New(eng *sim.Engine) *CPU {
 	return &CPU{eng: eng, quantum: params.CPUQuantum, started: eng.Now()}
 }
+
+// SetDispatchHook installs a scheduler-dispatch observer (nil to disable),
+// called once per granted slice with the winning priority and slice
+// length. The kernel uses it to publish dispatch trace events.
+func (c *CPU) SetDispatchHook(fn func(prio int, slice time.Duration)) { c.dispatch = fn }
 
 // Use consumes d of CPU at the given priority, blocking the task until the
 // time has been granted. Competing requests interleave at quantum
@@ -111,6 +117,9 @@ func (c *CPU) grant() {
 	slice := c.quantum
 	if r.remaining < slice {
 		slice = r.remaining
+	}
+	if c.dispatch != nil {
+		c.dispatch(r.prio, slice)
 	}
 	c.eng.After(slice, func() {
 		c.busy[r.prio] += slice

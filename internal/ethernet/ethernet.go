@@ -14,6 +14,7 @@ import (
 
 	"vsystem/internal/params"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 )
 
 // MAC is a station address on the segment.
@@ -60,6 +61,7 @@ type Bus struct {
 	busyUntil sim.Time
 	loss      LossFunc
 	stats     Stats
+	trace     *trace.Bus // nil until wired; nil bus is a no-op target
 }
 
 // NewBus creates an empty segment on the engine.
@@ -72,6 +74,11 @@ func (b *Bus) SetLoss(f LossFunc) { b.loss = f }
 
 // Stats returns a copy of the segment counters.
 func (b *Bus) Stats() Stats { return b.stats }
+
+// SetTraceBus wires the segment to the cluster's trace bus (nil to
+// disable): every frame transmission and every in-transit loss is
+// published.
+func (b *Bus) SetTraceBus(t *trace.Bus) { b.trace = t }
 
 // RandomLoss returns a LossFunc dropping each frame independently with
 // probability p, drawing from the engine's deterministic random source.
@@ -114,8 +121,16 @@ func (b *Bus) transmit(f Frame) sim.Time {
 	if dropped {
 		b.stats.Dropped++
 	}
+	b.trace.Publish(trace.Event{
+		At: start, Host: uint16(f.Src), Kind: trace.EvFrameTx,
+		Size: len(f.Payload), Peer: uint16(f.Dst),
+	})
 	b.eng.At(end, func() {
 		if dropped {
+			b.trace.Publish(trace.Event{
+				At: end, Host: uint16(f.Src), Kind: trace.EvFrameDrop,
+				Size: len(f.Payload), Peer: uint16(f.Dst),
+			})
 			return
 		}
 		if f.Dst == Broadcast {

@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"vsystem/internal/core"
-	"vsystem/internal/ipc"
 	"vsystem/internal/packet"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 	"vsystem/internal/workload"
 )
@@ -191,19 +191,22 @@ func CommPaths(seed int64) *Result {
 		}
 		return "program"
 	}
-	for _, n := range c.Nodes {
-		n.Host.IPC.SetTrace(func(ev ipc.TraceEvent) {
-			if ev.Dir == "rx" || ev.Pkt.Kind != packet.KRequest {
-				return
-			}
-			l := leg{from: name(ev.Pkt.Src), to: name(ev.Pkt.Dst), what: ev.Pkt.Kind.String()}
-			key := l.from + "→" + l.to
-			if seen[key] == 0 {
-				legs = append(legs, l)
-			}
-			seen[key]++
-		})
-	}
+	// Every request leaving a host (on the wire or delivered locally) is one
+	// leg of the figure; receive events would double-count each leg.
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if ev.Kind != trace.EvPktTx && ev.Kind != trace.EvPktLocal {
+			return
+		}
+		if ev.Pkt == nil || ev.Pkt.Kind != packet.KRequest {
+			return
+		}
+		l := leg{from: name(ev.Pkt.Src), to: name(ev.Pkt.Dst), what: ev.Pkt.Kind.String()}
+		key := l.from + "→" + l.to
+		if seen[key] == 0 {
+			legs = append(legs, l)
+		}
+		seen[key]++
+	})
 
 	var err error
 	c.Node(0).Agent(func(a *core.Agent) {

@@ -31,6 +31,7 @@ import (
 	"vsystem/internal/packet"
 	"vsystem/internal/params"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -53,18 +54,13 @@ type Resolver interface {
 	DeferWhenFrozen(dst vid.PID, op uint16) bool
 }
 
-// TraceEvent records one packet movement for communication-path analysis.
-type TraceEvent struct {
-	At   sim.Time
-	Host ethernet.MAC
-	Dir  string // "tx", "rx", "local"
-	Pkt  *packet.Packet
-}
-
-// Stats counts engine activity.
+// Stats counts engine activity. Read it through Engine.Stats(), which
+// returns a value snapshot: harnesses must never hold references into the
+// live counters, whose fields update packet by packet.
 type Stats struct {
 	TxPackets        int64
 	RxPackets        int64
+	RxCorrupt        int64
 	TxByKind         [16]int64
 	RxByKind         [16]int64
 	Retransmits      int64
@@ -91,7 +87,7 @@ type Engine struct {
 	txBuf    map[reasmKey]*fragSource
 	forward  map[vid.LHID]ethernet.MAC
 	stats    Stats
-	trace    func(TraceEvent)
+	trace    *trace.Bus // nil until wired; nil bus is a no-op target
 
 	// NoRebind disables the logical-host rebinding machinery (cache
 	// invalidation after unanswered retransmissions): the Demos/MP
@@ -168,8 +164,17 @@ func (e *Engine) MAC() ethernet.MAC { return e.nic.MAC() }
 // Stats returns a copy of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
-// SetTrace installs a packet-trace hook (nil to disable).
-func (e *Engine) SetTrace(fn func(TraceEvent)) { e.trace = fn }
+// SetTraceBus wires the engine to the cluster's trace bus (nil to
+// disable). Every packet movement — tx, rx, local delivery, corrupt-frame
+// drop, retransmission, reply-pending, locate, binding broadcast — is
+// published as a trace event.
+func (e *Engine) SetTraceBus(b *trace.Bus) { e.trace = b }
+
+// publish emits a packet-level trace event stamped with the current
+// virtual time and this host's station address.
+func (e *Engine) publish(kind trace.Kind, p *packet.Packet) {
+	e.trace.Publish(trace.Event{At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: kind, Pkt: p})
+}
 
 // CacheLookup exposes the logical-host cache (for tests and experiments).
 func (e *Engine) CacheLookup(lh vid.LHID) (ethernet.MAC, bool) {
@@ -184,6 +189,9 @@ func (e *Engine) InvalidateCache(lh vid.LHID) { delete(e.cache, lh) }
 // the §3.1.4 optimization performed when a migrated logical host is
 // unfrozen.
 func (e *Engine) BroadcastBinding(lh vid.LHID) {
+	e.trace.Publish(trace.Event{
+		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvRebind, LH: lh,
+	})
 	e.emit(&packet.Packet{Kind: packet.KBinding, LH: lh}, ethernet.Broadcast)
 }
 
@@ -208,9 +216,7 @@ func (e *Engine) netd(t *sim.Task) {
 			}
 			e.cpu.Use(t, cost, params.PrioKernel)
 			e.stats.LocalDeliveries++
-			if e.trace != nil {
-				e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "local", Pkt: j.local})
-			}
+			e.publish(trace.EvPktLocal, j.local)
 			e.dispatch(t, j.local, e.nic.MAC())
 		case j.fn != nil:
 			j.fn(t)
@@ -239,9 +245,7 @@ func (e *Engine) sendNow(t *sim.Task, p *packet.Packet, dst ethernet.MAC) {
 func (e *Engine) transmitFrame(t *sim.Task, p *packet.Packet, dst ethernet.MAC, wait bool) {
 	e.stats.TxPackets++
 	e.stats.TxByKind[p.Kind]++
-	if e.trace != nil {
-		e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "tx", Pkt: p})
-	}
+	e.publish(trace.EvPktTx, p)
 	f := ethernet.Frame{Dst: dst, Payload: packet.Marshal(p)}
 	if wait {
 		e.nic.Send(t, f)
@@ -301,6 +305,7 @@ func (e *Engine) resendFrags(t *sim.Task, key reasmKey, missing []uint16) {
 		}
 		e.cpu.Use(t, params.BulkSendCPU, params.PrioKernel)
 		e.stats.Retransmits++
+		e.publish(trace.EvPktRetx, src.summary)
 		e.transmitFrame(t, &packet.Packet{
 			Kind:      packet.KFrag,
 			TxID:      key.txid,
@@ -325,13 +330,17 @@ func (e *Engine) recvFrame(t *sim.Task, f ethernet.Frame) {
 	}
 	p, err := packet.Unmarshal(f.Payload)
 	if err != nil {
-		return // corrupt frame: drop
+		// Corrupt frame: count and trace the drop, then discard.
+		e.stats.RxCorrupt++
+		e.trace.Publish(trace.Event{
+			At: t.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvPktDrop,
+			Size: len(f.Payload), Peer: uint16(f.Src),
+		})
+		return
 	}
 	e.stats.RxPackets++
 	e.stats.RxByKind[p.Kind]++
-	if e.trace != nil {
-		e.trace(TraceEvent{At: t.Now(), Host: e.nic.MAC(), Dir: "rx", Pkt: p})
-	}
+	e.publish(trace.EvPktRx, p)
 	e.dispatch(t, p, f.Src)
 }
 
@@ -546,6 +555,7 @@ func (e *Engine) deliverReply(t *sim.Task, p *packet.Packet, from ethernet.MAC) 
 // replyPending emits a reply-pending packet for the given request.
 func (e *Engine) replyPending(p *packet.Packet, from ethernet.MAC) {
 	e.stats.ReplyPendings++
+	e.publish(trace.EvReplyPending, p)
 	out := &packet.Packet{Kind: packet.KReplyPending, TxID: p.TxID, Src: p.Dst, Dst: p.Src}
 	if from == e.nic.MAC() {
 		e.emitLocal(out)
@@ -578,6 +588,9 @@ func (e *Engine) route(dst vid.PID) (mac ethernet.MAC, local, ok bool) {
 		return m, false, true
 	}
 	e.stats.Locates++
+	e.trace.Publish(trace.Event{
+		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvLocate, LH: lh,
+	})
 	e.emit(&packet.Packet{Kind: packet.KLocateReq, LH: lh}, ethernet.Broadcast)
 	return 0, false, false
 }

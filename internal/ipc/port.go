@@ -9,6 +9,7 @@ import (
 	"vsystem/internal/packet"
 	"vsystem/internal/params"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -157,12 +158,14 @@ func (p *Port) tick(s *sendTxn) {
 		// reference is re-derived by broadcast.
 		p.eng.InvalidateCache(s.dst.LH())
 	}
-	p.eng.stats.Retransmits++
 	p.retransmit()
 	p.armTimer()
 }
 
-// retransmit re-sends the current request via the network daemon.
+// retransmit re-sends the current request via the network daemon. Both the
+// timer path (tick) and the binding-prompted path (Engine.retryWaiters) go
+// through here, so the resend is counted exactly once, when it actually
+// executes.
 func (p *Port) retransmit() {
 	s := p.send
 	if s == nil || s.done {
@@ -170,6 +173,10 @@ func (p *Port) retransmit() {
 	}
 	p.eng.jobs.Push(job{fn: func(t *sim.Task) {
 		if p.send == s && !s.done && !p.closed {
+			p.eng.stats.Retransmits++
+			p.eng.publish(trace.EvPktRetx, &packet.Packet{
+				Kind: packet.KRequest, TxID: s.txid, Src: p.pid, Dst: s.dst,
+			})
 			p.transmitOn(t, true)
 		}
 	}})

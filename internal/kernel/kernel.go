@@ -12,6 +12,7 @@ package kernel
 
 import (
 	"fmt"
+	"time"
 
 	"vsystem/internal/cpu"
 	"vsystem/internal/ethernet"
@@ -19,6 +20,7 @@ import (
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -54,6 +56,10 @@ type Host struct {
 	// Crashed simulates a powered-off workstation: the NIC drops all
 	// traffic and no new work is accepted.
 	crashed bool
+
+	trace      *trace.Bus // nil until wired; nil bus is a no-op target
+	freezes    int64
+	frozenTime time.Duration
 }
 
 // systemReserve is kernel + resident-server memory not available to
@@ -79,6 +85,29 @@ func NewHost(eng *sim.Engine, bus *ethernet.Bus, index int, name string) *Host {
 	h.systemLH = h.newLH("system:"+name, false, true)
 	h.startKernelServer()
 	return h
+}
+
+// AttachTrace wires the host's kernel, IPC engine, and CPU scheduler to
+// the cluster's trace bus. Call once, right after NewHost; a nil bus
+// detaches everything.
+func (h *Host) AttachTrace(b *trace.Bus) {
+	h.trace = b
+	h.IPC.SetTraceBus(b)
+	if b == nil {
+		h.CPU.SetDispatchHook(nil)
+		return
+	}
+	h.CPU.SetDispatchHook(func(prio int, slice time.Duration) {
+		b.Publish(trace.Event{
+			At: h.Eng.Now(), Host: uint16(h.NIC.MAC()), Kind: trace.EvDispatch, Prio: prio,
+		})
+	})
+}
+
+// FreezeStats reports how many freezes the kernel has performed and the
+// cumulative frozen time across completed freeze/unfreeze pairs.
+func (h *Host) FreezeStats() (freezes int64, frozen time.Duration) {
+	return h.freezes, h.frozenTime
 }
 
 // SystemLH returns the host's system logical host (kernel server, program
@@ -189,6 +218,7 @@ type LogicalHost struct {
 	system bool // hosts the kernel server and resident servers; never migrates
 
 	frozen   bool
+	frozenAt sim.Time
 	unfreeze sim.WaitQ
 	exitCode uint32 // exit code of the last process to exit
 
@@ -324,7 +354,15 @@ func (lh *LogicalHost) Procs() []*Process {
 // are discarded — all enforced by the freeze checks in the CPU gates and
 // the IPC engine.
 func (h *Host) Freeze(lh *LogicalHost) {
+	if lh.frozen {
+		return
+	}
 	lh.frozen = true
+	lh.frozenAt = h.Eng.Now()
+	h.freezes++
+	h.trace.Publish(trace.Event{
+		At: h.Eng.Now(), Host: uint16(h.NIC.MAC()), Kind: trace.EvFreeze, LH: lh.id,
+	})
 }
 
 // Unfreeze resumes the logical host: blocked processes wake, restored
@@ -335,6 +373,10 @@ func (h *Host) Unfreeze(lh *LogicalHost, broadcastBinding bool) {
 		return
 	}
 	lh.frozen = false
+	h.frozenTime += h.Eng.Now().Sub(lh.frozenAt)
+	h.trace.Publish(trace.Event{
+		At: h.Eng.Now(), Host: uint16(h.NIC.MAC()), Kind: trace.EvUnfreeze, LH: lh.id,
+	})
 	lh.unfreeze.WakeAll()
 	for _, p := range lh.Procs() {
 		if p.port != nil {

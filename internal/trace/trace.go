@@ -1,0 +1,263 @@
+// Package trace is the cluster-wide observability layer of the simulated
+// V-System: a deterministic, allocation-light event bus plus a metrics
+// registry that every substrate layer publishes into.
+//
+// The paper's headline results — millisecond freeze times, ≈3 s/Mbyte copy
+// rates, "usually 2 pre-copy iterations were useful" (§3.1.2, §4.1) — are
+// observability claims, so the reproduction carries a first-class trace
+// subsystem rather than ad-hoc hooks:
+//
+//   - ethernet publishes frame transmissions and in-transit losses;
+//   - ipc publishes packet send/receive/local-delivery, corrupt-frame
+//     drops, retransmissions (timer-driven, binding-prompted, and
+//     NACK-repair), reply-pending deferrals, locate broadcasts, and
+//     new-binding broadcasts (§3.1.3, §3.1.4);
+//   - kernel publishes freeze/unfreeze transitions and scheduler
+//     dispatches;
+//   - core publishes migration *phase spans*: host selection, each
+//     pre-copy round with its dirty Kbytes, the freeze window, the frozen
+//     residue copy, the kernel-state + LHID swap, and the rebinding
+//     unfreeze (§3.1.2).
+//
+// One Bus exists per cluster. Publishing is cheap when nobody listens: a
+// nil *Bus is a valid no-op target, and a live Bus without subscribers
+// only bumps a per-kind counter. Subscribers run synchronously in
+// subscription order on the simulation goroutine, so traces are exactly
+// reproducible for a fixed seed.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/packet"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// Kind classifies an instantaneous event.
+type Kind uint8
+
+const (
+	// EvFrameTx: ethernet put a frame on the wire.
+	EvFrameTx Kind = iota
+	// EvFrameDrop: the loss model discarded a frame in transit.
+	EvFrameDrop
+	// EvPktTx: ipc transmitted a packet.
+	EvPktTx
+	// EvPktRx: ipc received and decoded a packet.
+	EvPktRx
+	// EvPktLocal: ipc delivered a packet intra-host.
+	EvPktLocal
+	// EvPktDrop: ipc dropped a corrupt frame before decoding.
+	EvPktDrop
+	// EvPktRetx: ipc retransmitted (timer tick, binding prompt, or
+	// fragment-NACK repair).
+	EvPktRetx
+	// EvReplyPending: ipc answered a deferred request with reply-pending
+	// (busy or frozen destination, §3.1.3).
+	EvReplyPending
+	// EvLocate: ipc broadcast a locate request for an unknown binding.
+	EvLocate
+	// EvRebind: ipc broadcast a new logical-host binding (§3.1.4).
+	EvRebind
+	// EvFreeze: kernel froze a logical host.
+	EvFreeze
+	// EvUnfreeze: kernel unfroze a logical host.
+	EvUnfreeze
+	// EvDispatch: the CPU scheduler granted a slice.
+	EvDispatch
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"frame-tx", "frame-drop", "tx", "rx", "local", "drop", "retx",
+	"reply-pending", "locate", "rebind", "freeze", "unfreeze", "dispatch",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one instantaneous occurrence published by a layer. Packet
+// events carry the decoded packet; frame events only its size (ethernet
+// sits below the packet layer); kernel events carry the logical host.
+type Event struct {
+	At   sim.Time
+	Host uint16 // station MAC of the publishing host (0: none)
+	Kind Kind
+	Pkt  *packet.Packet // packet events; nil otherwise
+	LH   vid.LHID       // freeze/unfreeze/locate/rebind events
+	Prio int            // EvDispatch: priority level granted
+	Size int            // frame payload bytes (frame events)
+	Peer uint16         // destination MAC (frame events)
+}
+
+// Phase labels one migration phase span (§3.1.2).
+type Phase uint8
+
+const (
+	// PhaseSelect: locating a willing host and initializing the new
+	// copy's descriptors.
+	PhaseSelect Phase = iota
+	// PhasePrecopy: one pre-copy round (Round, KB filled in).
+	PhasePrecopy
+	// PhaseFreeze: the freeze window — Freeze until the unfreeze of the
+	// new copy is acknowledged. It encloses residue, swap and rebind.
+	PhaseFreeze
+	// PhaseResidue: copying the frozen dirty residue.
+	PhaseResidue
+	// PhaseSwap: kernel/program-manager state copy and the LHID change.
+	PhaseSwap
+	// PhaseRebind: unfreezing the new copy and broadcasting the binding.
+	PhaseRebind
+
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"select", "precopy", "freeze", "residue", "swap", "rebind",
+}
+
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Span is one completed migration phase.
+type Span struct {
+	LH    vid.LHID
+	Phase Phase
+	Round int     // pre-copy round number (0-based); 0 otherwise
+	KB    float64 // Kbytes moved during the span, where known
+	Start sim.Time
+	End   sim.Time
+}
+
+// Dur returns the span's length in virtual time.
+func (s Span) Dur() time.Duration { return s.End.Sub(s.Start) }
+
+func (s Span) String() string {
+	return fmt.Sprintf("%v %v[%d] %.1fKB %v→%v (%v)",
+		s.LH, s.Phase, s.Round, s.KB, s.Start, s.End, s.Dur())
+}
+
+// Metric is one named sample gathered from a registered source.
+type Metric struct {
+	Scope string
+	Name  string
+	Value float64
+}
+
+type source struct {
+	scope string
+	fn    func() []Metric
+}
+
+// Bus is the cluster's event bus and metrics registry. The zero value is
+// ready to use; a nil *Bus is a valid no-op publish target, so layers can
+// publish unconditionally whether or not tracing is wired up.
+type Bus struct {
+	subs     []func(Event)
+	spanSubs []func(Span)
+	spans    []Span
+	counts   [numKinds]int64
+	sources  []source
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe adds an event listener, invoked synchronously for every
+// published event in subscription order.
+func (b *Bus) Subscribe(fn func(Event)) { b.subs = append(b.subs, fn) }
+
+// SubscribeSpans adds a span listener.
+func (b *Bus) SubscribeSpans(fn func(Span)) { b.spanSubs = append(b.spanSubs, fn) }
+
+// Publish delivers an event to all subscribers and bumps its kind
+// counter. Publishing to a nil bus is a no-op.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.counts[ev.Kind]++
+	for _, fn := range b.subs {
+		fn(ev)
+	}
+}
+
+// PublishSpan records a completed migration phase span and notifies span
+// subscribers. Publishing to a nil bus is a no-op.
+func (b *Bus) PublishSpan(s Span) {
+	if b == nil {
+		return
+	}
+	b.spans = append(b.spans, s)
+	for _, fn := range b.spanSubs {
+		fn(s)
+	}
+}
+
+// Count reports how many events of the kind have been published.
+func (b *Bus) Count(k Kind) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.counts[k]
+}
+
+// Spans returns a copy of every span published so far, in publication
+// order (spans are published at phase end, so ordered by End time).
+func (b *Bus) Spans() []Span {
+	if b == nil {
+		return nil
+	}
+	out := make([]Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// SpansFor returns the published spans of one logical host.
+func (b *Bus) SpansFor(lh vid.LHID) []Span {
+	var out []Span
+	if b == nil {
+		return nil
+	}
+	for _, s := range b.spans {
+		if s.LH == lh {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RegisterSource adds a named metrics source. The function must return a
+// fresh snapshot on every call — sources are how layers expose their
+// Stats counters without handing out live struct fields.
+func (b *Bus) RegisterSource(scope string, fn func() []Metric) {
+	b.sources = append(b.sources, source{scope: scope, fn: fn})
+}
+
+// Gather snapshots every registered source, in registration order.
+func (b *Bus) Gather() []Metric {
+	if b == nil {
+		return nil
+	}
+	var out []Metric
+	for _, s := range b.sources {
+		for _, m := range s.fn() {
+			if m.Scope == "" {
+				m.Scope = s.scope
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
