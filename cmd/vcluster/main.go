@@ -15,6 +15,9 @@
 //	ps <host>                  list programs on a host
 //	display [<host>]           show a workstation's display contents
 //	crash <host>               power a workstation off
+//	restart <host>             reboot a crashed workstation
+//	partition <a,b,..> <c,..>  sever the segment between two host sets
+//	heal                       remove all active partitions
 //	advance <dur>              advance virtual time (e.g. 2s, 500ms)
 //	names                      list global name-service bindings
 //	stats                      cluster-wide metrics snapshot
@@ -429,13 +432,63 @@ func (r *repl) exec(line string) bool {
 		if n == nil {
 			break
 		}
-		n.Host.Crash()
+		r.c.Fault.Crash(n.Host.NIC.MAC())
 		r.printf("%s crashed", n.Name())
+
+	case "restart":
+		if len(f) < 2 {
+			r.printf("! restart <host>")
+			break
+		}
+		n := r.node(f[1])
+		if n == nil {
+			break
+		}
+		if !n.Host.Crashed() {
+			r.printf("! %s is not crashed", n.Name())
+			break
+		}
+		r.c.Fault.Restart(n.Host.NIC.MAC())
+		r.printf("%s restarted", n.Name())
+
+	case "partition":
+		if len(f) != 3 {
+			r.printf("! partition <hosts,comma-separated> <hosts,comma-separated>")
+			break
+		}
+		a, okA := r.macSet(f[1])
+		b, okB := r.macSet(f[2])
+		if !okA || !okB {
+			break
+		}
+		r.c.Fault.Partition(a, b)
+		r.printf("partitioned %s | %s", f[1], f[2])
+
+	case "heal":
+		if !r.c.Fault.Partitioned() {
+			r.printf("! no active partition")
+			break
+		}
+		r.c.Fault.Heal()
+		r.printf("all partitions healed")
 
 	default:
 		r.printf("! unknown command %q", f[0])
 	}
 	return true
+}
+
+// macSet resolves a comma-separated host-name list ("ws0,ws2") to MACs.
+func (r *repl) macSet(list string) ([]ethernet.MAC, bool) {
+	var out []ethernet.MAC
+	for _, name := range strings.Split(list, ",") {
+		n := r.node(strings.TrimSpace(name))
+		if n == nil {
+			return nil, false
+		}
+		out = append(out, n.Host.NIC.MAC())
+	}
+	return out, true
 }
 
 func (r *repl) job(f []string) *core.Job {

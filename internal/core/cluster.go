@@ -12,6 +12,7 @@ import (
 
 	"vsystem/internal/display"
 	"vsystem/internal/ethernet"
+	"vsystem/internal/fault"
 	"vsystem/internal/fileserver"
 	"vsystem/internal/image"
 	"vsystem/internal/kernel"
@@ -50,9 +51,19 @@ type Cluster struct {
 	// Trace is the cluster-wide event bus and metrics registry; every
 	// layer (ethernet, ipc, kernel, migration) publishes into it.
 	Trace *trace.Bus
+	// Fault injects crashes, restarts, partitions, and loss/corruption
+	// bursts into the cluster; it is never nil.
+	Fault *fault.Injector
 
+	policy Policy
+	images []installedImage // install order preserved for FS restart
 	agents int
 	pagers map[vid.LHID]*PagerStats
+}
+
+type installedImage struct {
+	name string
+	data []byte
 }
 
 // Node is one workstation: kernel, program manager, display server.
@@ -82,7 +93,8 @@ func NewCluster(opt Options) *Cluster {
 	}
 	tb := trace.NewBus()
 	bus.SetTraceBus(tb)
-	c := &Cluster{Sim: eng, Bus: bus, Trace: tb}
+	c := &Cluster{Sim: eng, Bus: bus, Trace: tb, policy: opt.Policy}
+	c.Fault = fault.New(eng, bus, tb)
 	tb.RegisterSource("net", func() []trace.Metric {
 		bs := bus.Stats()
 		return []trace.Metric{
@@ -99,15 +111,17 @@ func NewCluster(opt Options) *Cluster {
 		registerHostMetrics(tb, h)
 		n := &Node{Host: h, cluster: c}
 		n.PM = progmgr.Start(h)
-		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c}
+		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c, FaultHook: c.Fault.OnPhase}
 		n.Display = display.Start(h)
 		c.Nodes = append(c.Nodes, n)
+		c.Fault.RegisterHost(h.NIC.MAC(), h.Crash, n.Restart)
 	}
 	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
 	c.FSHost.AttachTrace(tb)
 	registerHostMetrics(tb, c.FSHost)
 	c.FS = fileserver.Start(c.FSHost)
 	c.NS = nameserver.Start(c.FSHost)
+	c.Fault.RegisterHost(c.FSHost.NIC.MAC(), c.FSHost.Crash, c.restartFS)
 	// Resident servers announce themselves to the global name service.
 	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
 	for _, n := range c.Nodes {
@@ -139,9 +153,46 @@ func registerHostMetrics(tb *trace.Bus, h *kernel.Host) {
 	})
 }
 
-// Install stores a program image on the file server.
+// Install stores a program image on the file server (and remembers it so
+// a restarted file server can be restocked).
 func (c *Cluster) Install(img *image.Image) {
-	c.FS.Put(img.Name, img.Encode())
+	data := img.Encode()
+	c.images = append(c.images, installedImage{name: img.Name, data: data})
+	c.FS.Put(img.Name, data)
+}
+
+// Restart reboots a crashed workstation: the kernel comes back with a
+// fresh system logical host, then the resident servers (program manager,
+// display) are restarted and re-announce themselves to the name service.
+// Programs that were running before the crash are gone — the paper's V
+// made no attempt to survive a host loss beyond migration (§3.1.3).
+func (n *Node) Restart() {
+	if !n.Host.Crashed() {
+		return
+	}
+	c := n.cluster
+	n.Host.Restart()
+	n.PM = progmgr.Start(n.Host)
+	n.PM.Migrator = &Migrator{Policy: c.policy, Cluster: c, FaultHook: c.Fault.OnPhase}
+	n.Display = display.Start(n.Host)
+	nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
+	nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())
+}
+
+// restartFS reboots the server machine: file server and name server come
+// back and the file server is restocked with every installed image (a
+// real V file server would reload from disk).
+func (c *Cluster) restartFS() {
+	if !c.FSHost.Crashed() {
+		return
+	}
+	c.FSHost.Restart()
+	c.FS = fileserver.Start(c.FSHost)
+	c.NS = nameserver.Start(c.FSHost)
+	for _, img := range c.images {
+		c.FS.Put(img.name, img.data)
+	}
+	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
 }
 
 // Run advances the cluster by d of virtual time.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -784,8 +785,7 @@ func TestMigrationTargetCrashRollsBack(t *testing.T) {
 	if migErr == nil {
 		t.Fatal("migration to a crashed target reported success")
 	}
-	if migErr != nil && migErr.Error() != ErrMigrationFailed.Error() &&
-		migErr.Error() != "v: refused" {
+	if !errors.Is(migErr, ErrMigrationFailed) && migErr.Error() != "v: refused" {
 		t.Fatalf("unexpected error: %v", migErr)
 	}
 	if progressAfter[1] <= progressAfter[0] {

@@ -7,6 +7,7 @@ import (
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
@@ -28,12 +29,21 @@ var ErrNoHost = errors.New("core: no host available")
 // program-manager group and taking the first response — the paper's
 // decentralized scheduler ("it simply selects the program manager that
 // responds first since that is generally the least loaded host", §2.1).
-// exclude suppresses the caller's own host (pass 0 to allow any).
-func SelectHost(ctx *kernel.ProcCtx, minMem uint32, exclude vid.LHID) (HostSel, error) {
+// exclude suppresses up to four system logical hosts — typically the
+// caller's own plus destinations a retried migration already saw fail.
+func SelectHost(ctx *kernel.ProcCtx, minMem uint32, exclude ...vid.LHID) (HostSel, error) {
+	var w [6]uint32
+	w[0] = minMem
+	for i, lh := range exclude {
+		if i >= 4 {
+			break
+		}
+		w[i+1] = uint32(lh)
+	}
 	for attempt := 0; attempt < 2; attempt++ {
 		m, err := ctx.Send(vid.GroupProgramManagers, vid.Message{
 			Op: progmgr.PmSelectHost,
-			W:  [6]uint32{minMem, uint32(exclude)},
+			W:  w,
 		})
 		if err == nil && m.OK() {
 			return HostSel{
@@ -186,6 +196,14 @@ func (a *Agent) Migrate(job *Job, kill bool) (*MigrationReport, error) {
 		return nil, err
 	}
 	if !m.OK() {
+		// The manager relays the failure phase in the refused reply
+		// (W[0] = phase+1, W[1] = pre-copy round); reconstruct the typed
+		// error so callers can errors.Is/As it.
+		if m.W[0] != 0 {
+			return nil, &PhaseError{
+				Phase: trace.Phase(m.W[0] - 1), Round: int(m.W[1]), Err: m.Err(),
+			}
+		}
 		return nil, m.Err()
 	}
 	if len(m.Seg) == 0 {

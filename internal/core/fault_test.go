@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/fault"
+	"vsystem/internal/progs"
+	"vsystem/internal/trace"
+)
+
+// TestDestCrashDuringPrecopySourceSurvives is the §3.1.3 guarantee under
+// the fault injector: the destination dies during pre-copy round 0, and
+// the original logical host — which was never frozen — keeps running on
+// the source, loses no output, and the migrator retries to an alternate
+// host and succeeds.
+func TestDestCrashDuringPrecopySourceSurvives(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 31})
+	c.Install(progs.Ticker(400))
+	c.Fault.MigrationFault(trace.PhasePrecopy, 0, fault.VictimDest)
+
+	var job *Job
+	var crashedMAC uint16
+	var duringOK, duringChecked bool
+	var linesAtCheck1 int
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if ev.Kind != trace.EvMigFault {
+			return
+		}
+		crashedMAC = ev.Host
+		// While the failed attempt times out (~5 s of retransmissions to
+		// the dead host), the original must be unfrozen, on the source,
+		// and still producing output.
+		c.Sim.After(1500*time.Millisecond, func() {
+			n, lh := c.FindProgram(job.LHID)
+			duringOK = n == c.Node(1) && lh != nil && !lh.Frozen()
+			linesAtCheck1 = len(c.Node(0).Display.Lines())
+		})
+		c.Sim.After(4500*time.Millisecond, func() {
+			duringChecked = true
+			n, lh := c.FindProgram(job.LHID)
+			if n != c.Node(1) || lh == nil || lh.Frozen() {
+				duringOK = false
+			}
+			if len(c.Node(0).Display.Lines()) <= linesAtCheck1 {
+				duringOK = false // stopped being scheduled
+			}
+		})
+	})
+
+	// Keep ws0 busy so it never answers selection: candidates are ws2/ws3.
+	var busyErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, busyErr = a.Exec("tex", nil, "")
+	})
+	var rep *MigrationReport
+	var execErr, migErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		a.Sleep(800 * time.Millisecond)
+		rep, migErr = a.Migrate(job, false)
+		if migErr != nil {
+			return
+		}
+		_, waitErr = a.Wait(job)
+	})
+	c.Run(5 * time.Minute)
+
+	if busyErr != nil || execErr != nil || migErr != nil || waitErr != nil {
+		t.Fatalf("busy=%v exec=%v mig=%v wait=%v", busyErr, execErr, migErr, waitErr)
+	}
+	if got := c.Trace.Count(trace.EvMigFault); got != 1 {
+		t.Fatalf("EvMigFault count = %d, want 1", got)
+	}
+	if got := c.Trace.Count(trace.EvHostCrash); got != 1 {
+		t.Fatalf("EvHostCrash count = %d, want 1", got)
+	}
+	if !duringChecked || !duringOK {
+		t.Fatalf("source not unfrozen+scheduled during recovery (checked=%v ok=%v)",
+			duringChecked, duringOK)
+	}
+	mig := c.Node(1).PM.Migrator.(*Migrator)
+	if mig.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", mig.Retries)
+	}
+	if rep == nil {
+		t.Fatal("no migration report after successful retry")
+	}
+	if destMAC := uint16(rep.DestHost >> 8); destMAC == crashedMAC {
+		t.Fatalf("retry reused the crashed destination %#x", destMAC)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 400)
+}
+
+// TestSourceCrashAfterSwapDestAdopts covers the other half of §3.1.3: the
+// source dies after the new copy has assumed the logical host's identity
+// (the LHID swap) but before unfreezing it. The destination's adoption
+// watchdog must finish the hand-over: the new copy is authoritative,
+// resumes, and completes the workload with no lost output.
+func TestSourceCrashAfterSwapDestAdopts(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 33})
+	c.Install(progs.Ticker(400))
+	c.Fault.MigrationFault(trace.PhaseRebind, 0, fault.VictimSource)
+
+	var job *Job
+	var adoptedOK, adoptedChecked bool
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if ev.Kind != trace.EvMigFault {
+			return
+		}
+		// Past the adoption delay the program must be live and unfrozen
+		// on a host other than the dead source.
+		c.Sim.After(3*time.Second, func() {
+			adoptedChecked = true
+			n, lh := c.FindProgram(job.LHID)
+			adoptedOK = n != nil && n != c.Node(1) && !lh.Frozen()
+		})
+	})
+
+	var busyErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, busyErr = a.Exec("tex", nil, "")
+	})
+	var execErr, migErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		a.Sleep(800 * time.Millisecond)
+		// The manager running the migration dies with ws1, so this call
+		// fails; the program itself must survive on the destination.
+		_, migErr = a.Migrate(job, false)
+	})
+	c.Run(3 * time.Minute)
+
+	if busyErr != nil || execErr != nil {
+		t.Fatalf("busy=%v exec=%v", busyErr, execErr)
+	}
+	if migErr == nil {
+		t.Fatal("Migrate reported success though its manager crashed mid-call")
+	}
+	if got := c.Trace.Count(trace.EvMigFault); got != 1 {
+		t.Fatalf("EvMigFault count = %d, want 1", got)
+	}
+	if got := c.Trace.Count(trace.EvHostCrash); got != 1 {
+		t.Fatalf("EvHostCrash count = %d, want 1", got)
+	}
+	if !adoptedChecked || !adoptedOK {
+		t.Fatalf("destination did not adopt the orphaned copy (checked=%v ok=%v)",
+			adoptedChecked, adoptedOK)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 400)
+}
+
+// assertGapless checks the ticker output on a possibly shared display:
+// exactly want "t<i>" lines, consecutive, none lost or reordered (other
+// programs' lines are ignored).
+func assertGapless(t *testing.T, lines []string, want int) {
+	t.Helper()
+	var ticks []string
+	for _, ln := range lines {
+		var n int
+		if _, err := fmt.Sscanf(ln, "t%d", &n); err == nil && ln == fmt.Sprintf("t%d", n) {
+			ticks = append(ticks, ln)
+		}
+	}
+	if len(ticks) != want {
+		t.Fatalf("display has %d ticker lines, want %d", len(ticks), want)
+	}
+	var first int
+	fmt.Sscanf(ticks[0], "t%d", &first)
+	for i, ln := range ticks {
+		if ln != fmt.Sprintf("t%d", first+i) {
+			t.Fatalf("tick %d = %q, want %q (lost or reordered output)",
+				i, ln, fmt.Sprintf("t%d", first+i))
+		}
+	}
+}
+
+// faultScheduleEvents boots a cluster, applies a fixed fault schedule —
+// migration fault with retry, host crash + restart, partition + heal, a
+// loss burst and a corruption burst — runs a migrating workload through
+// it, and returns every trace event formatted as a string.
+func faultScheduleEvents(t *testing.T, seed int64) []string {
+	t.Helper()
+	c := boot(t, Options{Workstations: 4, Seed: seed})
+	var out []string
+	c.Trace.Subscribe(func(ev trace.Event) {
+		out = append(out, fmt.Sprintf("%v h%d %v lh=%v prio=%d size=%d peer=%d",
+			ev.At, ev.Host, ev.Kind, ev.LH, ev.Prio, ev.Size, ev.Peer))
+	})
+	c.Fault.MigrationFault(trace.PhasePrecopy, 0, fault.VictimDest)
+	// Reboot whichever host the migration fault kills, 8 s after it dies.
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if ev.Kind == trace.EvHostCrash {
+			c.Fault.RestartAfter(8*time.Second, ethernet.MAC(ev.Host))
+		}
+	})
+	ws2, ws3 := c.Node(2).Host.NIC.MAC(), c.Node(3).Host.NIC.MAC()
+	c.Fault.PartitionAfter(3*time.Second, []ethernet.MAC{ws2}, []ethernet.MAC{ws3})
+	c.Fault.HealAfter(4 * time.Second)
+	c.Fault.LossBurstAfter(2*time.Second, 500*time.Millisecond, 0.02)
+	c.Fault.CorruptBurstAfter(2500*time.Millisecond, 500*time.Millisecond, 0.02)
+
+	var busyErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, busyErr = a.Exec("tex", nil, "")
+	})
+	var execErr error
+	c.Node(0).Agent(func(a *Agent) {
+		var job *Job
+		job, execErr = a.Exec("ticker200", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		a.Sleep(800 * time.Millisecond)
+		a.Migrate(job, false) // faulted, retried; outcome captured in the trace
+	})
+	c.Run(60 * time.Second)
+	if busyErr != nil || execErr != nil {
+		t.Fatalf("busy=%v exec=%v", busyErr, execErr)
+	}
+	return out
+}
+
+// TestFaultScheduleDeterministic: the same seed and the same fault
+// schedule must produce a byte-identical trace event sequence — faults
+// draw from the engine's seeded randomness and virtual clock only.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	a := faultScheduleEvents(t, 5)
+	b := faultScheduleEvents(t, 5)
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no events recorded")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"encoding/gob"
 	"errors"
+	"fmt"
 	"time"
 
 	"vsystem/internal/ethernet"
+	"vsystem/internal/fault"
 	"vsystem/internal/kernel"
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
@@ -94,6 +96,47 @@ func DecodeReport(b []byte) (*MigrationReport, error) {
 // ErrMigrationFailed wraps a failed migration attempt.
 var ErrMigrationFailed = errors.New("core: migration failed")
 
+// PhaseError reports which phase of the §3.1 algorithm a migration attempt
+// failed in. It matches both ErrMigrationFailed and its cause under
+// errors.Is/As, and carries the failed destination so a retry can exclude
+// it.
+type PhaseError struct {
+	Phase trace.Phase
+	Round int      // pre-copy round, when Phase == trace.PhasePrecopy
+	Dest  vid.LHID // destination system LH; 0 if selection never completed
+	Err   error    // underlying cause (send abort, refused reply, ...)
+}
+
+func (e *PhaseError) Error() string {
+	s := "core: migration failed at " + e.Phase.String()
+	if e.Phase == trace.PhasePrecopy {
+		s += fmt.Sprintf(" round %d", e.Round)
+	}
+	if e.Dest != 0 {
+		s += fmt.Sprintf(" (dest %v)", e.Dest)
+	}
+	return s + ": " + e.Err.Error()
+}
+
+// Unwrap makes errors.Is(err, ErrMigrationFailed) hold for every phase
+// failure while keeping the cause inspectable.
+func (e *PhaseError) Unwrap() []error { return []error{ErrMigrationFailed, e.Err} }
+
+// PhaseTag encodes the failure point for the wire (progmgr relays it in
+// the refused reply): phase+1 so that 0 means "no phase information".
+func (e *PhaseError) PhaseTag() (uint32, uint32) {
+	return uint32(e.Phase) + 1, uint32(e.Round)
+}
+
+// sendErr normalizes a Send outcome into a non-nil error: the transport
+// error if the send aborted, otherwise the reply's error code.
+func sendErr(err error, m vid.Message) error {
+	if err != nil {
+		return err
+	}
+	return m.Err()
+}
+
 // Migrator implements progmgr.Migrator: the sending side of migration,
 // running on the source host's migration worker at system priority
 // ("higher priority than all other programs on the originating host",
@@ -102,8 +145,17 @@ type Migrator struct {
 	Policy  Policy
 	Cluster *Cluster
 
+	// FaultHook, when set, is called at each phase boundary of an
+	// in-flight migration so a fault injector can crash a participant at
+	// a precise point (fault.Injector.OnPhase is the standard hook).
+	FaultHook func(fault.PhasePoint)
+
 	// Reports collects every migration this engine performed.
 	Reports []*MigrationReport
+
+	// Retries counts attempts that were retried to an alternate
+	// destination after a typed phase failure.
+	Retries int
 
 	// freezeStart records when the in-flight migration froze the logical
 	// host (migrations are serialized by the program manager's worker).
@@ -119,6 +171,13 @@ func (mg *Migrator) span(s trace.Span) {
 	}
 }
 
+// atPhase reports a phase boundary to the fault hook, if any.
+func (mg *Migrator) atPhase(lh vid.LHID, ph trace.Phase, round int, src, dst ethernet.MAC) {
+	if mg.FaultHook != nil {
+		mg.FaultHook(fault.PhasePoint{LH: lh, Phase: ph, Round: round, Src: src, Dst: dst})
+	}
+}
+
 // Migrate moves lh to another workstation per §3.1:
 //
 //  1. locate a willing host via the program-manager group;
@@ -127,26 +186,58 @@ func (mg *Migrator) span(s trace.Span) {
 //  4. freeze, copy the residue and the kernel/program-manager state;
 //  5. change the new copy's LHID to the original, unfreeze it (broadcasting
 //     the new binding), delete the old copy.
+//
+// A destination that dies mid-migration leaves the original unfrozen and
+// running (§3.1.3); the migrator then retries to an alternate host,
+// excluding destinations that already failed, with exponential backoff,
+// up to params.MigrateMaxAttempts. Selection failures (no willing host)
+// are not retried — there is nowhere else to go.
 func (mg *Migrator) Migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost) ([]byte, vid.PID, error) {
-	rep, err := mg.migrate(ctx, pm, lh)
-	if err != nil {
-		return nil, vid.Nil, err
+	host := pm.Host()
+	var excludes []vid.LHID
+	var firstErr error
+	for attempt := 0; attempt < params.MigrateMaxAttempts; attempt++ {
+		rep, err := mg.migrate(ctx, pm, lh, excludes)
+		if err == nil {
+			mg.Reports = append(mg.Reports, rep)
+			return rep.Encode(), rep.NewPM, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		var pe *PhaseError
+		if !errors.As(err, &pe) || pe.Dest == 0 || len(excludes) >= 3 {
+			break // no known-bad destination to route around
+		}
+		excludes = append(excludes, pe.Dest)
+		if attempt+1 >= params.MigrateMaxAttempts {
+			break
+		}
+		mg.Retries++
+		ctx.Sleep(params.MigrateRetryBackoff << attempt)
+		// The program ran unfrozen during the backoff; it may have exited
+		// or been destroyed meanwhile.
+		if cur, ok := host.LookupLH(lh.ID()); !ok || cur != lh || lh.Frozen() {
+			break
+		}
 	}
-	mg.Reports = append(mg.Reports, rep)
-	return rep.Encode(), rep.NewPM, nil
+	return nil, vid.Nil, firstErr
 }
 
-func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost) (*MigrationReport, error) {
+func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost, excludes []vid.LHID) (*MigrationReport, error) {
 	host := pm.Host()
 	start := ctx.Now()
 	rep := &MigrationReport{Policy: mg.Policy.String()}
 
-	// 1. Locate a new host, excluding ourselves.
-	sel, err := SelectHost(ctx, lh.MemUsed()+64*1024, host.SystemLH().ID())
+	// 1. Locate a new host, excluding ourselves and destinations that
+	// already failed this migration.
+	sel, err := SelectHost(ctx, lh.MemUsed()+64*1024,
+		append([]vid.LHID{host.SystemLH().ID()}, excludes...)...)
 	if err != nil {
-		return nil, ErrMigrationFailed
+		return nil, &PhaseError{Phase: trace.PhaseSelect, Err: err}
 	}
 	rep.DestHost = sel.SystemLH
+	srcMAC, dstMAC := host.NIC.MAC(), targetMAC(sel)
 
 	// 2. Initialize the new copy's descriptors under a different LHID.
 	var descs []kernel.SpaceDesc
@@ -163,54 +254,62 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		}),
 	})
 	if err != nil || !initRep.OK() {
-		return nil, ErrMigrationFailed
+		return nil, &PhaseError{
+			Phase: trace.PhaseSelect, Dest: sel.SystemLH, Err: sendErr(err, initRep),
+		}
 	}
 	tempLH := vid.LHID(initRep.W[0])
 	targetKS := kernel.KernelServerPID(vid.LHID(initRep.W[1]))
 	rep.NewPM = vid.PID(initRep.W[5])
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSelect, Start: start, End: ctx.Now()})
+	mg.atPhase(lh.ID(), trace.PhaseSelect, 0, srcMAC, dstMAC)
 
-	fail := func() (*MigrationReport, error) {
+	fail := func(ph trace.Phase, round int, cause error) (*MigrationReport, error) {
 		// Copy failed: assume the new host is gone, unfreeze the old copy
-		// to avoid timeouts, give up (§3.1.3: "in our current
-		// implementation, we simply give up").
+		// to avoid timeouts (§3.1.3 — "the execution of the program is
+		// unaffected except for a delay"; the paper's implementation then
+		// "simply gives up"; ours additionally lets Migrate retry to an
+		// alternate host).
 		host.Unfreeze(lh, false)
-		return nil, ErrMigrationFailed
+		return nil, &PhaseError{Phase: ph, Round: round, Dest: sel.SystemLH, Err: cause}
 	}
 
 	// 3+4. Copy address-space state per policy, ending frozen.
 	switch mg.Policy {
 	case PolicyPrecopy, PolicyForwarding:
-		if err := mg.precopy(ctx, host, lh, tempLH, targetKS, rep); err != nil {
-			return fail()
+		if ph, round, err := mg.precopy(ctx, host, lh, tempLH, targetKS, rep, srcMAC, dstMAC); err != nil {
+			return fail(ph, round, err)
 		}
 	case PolicyStopCopy:
 		host.Freeze(lh)
 		mg.freezeStart = ctx.Now()
+		mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, srcMAC, dstMAC)
 		var all []spacePages
 		for _, as := range lh.Spaces() {
 			as.ClearDirty()
 			all = append(all, spacePages{as, as.AllPages()})
 		}
+		mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
 		kb, err := mg.copyRuns(ctx, tempLH, targetKS, all, rep)
 		if err != nil {
-			return fail()
+			return fail(trace.PhaseResidue, 0, err)
 		}
 		rep.ResidualKB = kb
 		rep.Rounds = append(rep.Rounds, RoundStat{Pages: int(kb), KB: kb, Dur: ctx.Now().Sub(mg.freezeStart)})
 		mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
 	case PolicyFlush:
 		if err := mg.flushOut(ctx, pm, lh, rep); err != nil {
-			return fail()
+			return fail(trace.PhasePrecopy, 0, err)
 		}
 	default:
-		return nil, ErrMigrationFailed
+		return nil, fmt.Errorf("%w: unknown policy %v", ErrMigrationFailed, mg.Policy)
 	}
 
 	// The logical host is now frozen. Copy kernel server + program
 	// manager state: the source charges its share of the measured cost,
 	// the target's kernel server charges the rest when installing.
 	kStart := ctx.Now()
+	mg.atPhase(lh.ID(), trace.PhaseSwap, 0, srcMAC, dstMAC)
 	st := host.SnapshotKernelState(lh)
 	rep.KernelItems = st.Items()
 	ctx.Compute(params.KernelStateBaseCPU/2 + time.Duration(st.Items())*params.KernelStatePerItemCPU/2)
@@ -218,17 +317,21 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		Op: kernel.KsSetState, W: [6]uint32{uint32(tempLH)}, Seg: st.Encode(),
 	})
 	if err != nil || !m.OK() {
-		return fail()
+		return fail(trace.PhaseSwap, 0, sendErr(err, m))
 	}
-	// Assume the original identity.
+	// Assume the original identity. Until this succeeds the original is
+	// authoritative; once it succeeds the new copy owns the identity and
+	// the destination's adoption watchdog can finish the hand-over even if
+	// we die before unfreezing it.
 	m, err = ctx.Send(targetKS, vid.Message{
 		Op: kernel.KsChangeLHID, W: [6]uint32{uint32(tempLH), uint32(lh.ID())},
 	})
 	if err != nil || !m.OK() {
-		return fail()
+		return fail(trace.PhaseSwap, 0, sendErr(err, m))
 	}
 	rep.KernelTime = ctx.Now().Sub(kStart)
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSwap, Start: kStart, End: ctx.Now()})
+	mg.atPhase(lh.ID(), trace.PhaseRebind, 0, srcMAC, dstMAC)
 	if mg.Policy == PolicyFlush {
 		// Configure demand paging on the new copy before it runs.
 		mg.installPager(lh.ID(), sel.SystemLH)
@@ -246,7 +349,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(lh.ID()), broadcast},
 	})
 	if err != nil || !m.OK() {
-		return fail()
+		return fail(trace.PhaseRebind, 0, sendErr(err, m))
 	}
 	rep.FreezeTime = ctx.Now().Sub(mg.freezeStart)
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseRebind, Start: rbStart, End: ctx.Now()})
@@ -282,9 +385,10 @@ func kbOf(sp []spacePages) float64 {
 // precopy implements §3.1.2: an initial copy of the complete address
 // spaces followed by repeated copies of the pages modified during the
 // previous copy, until the dirty residue is small or stops shrinking; the
-// logical host is then frozen and the residue copied.
+// logical host is then frozen and the residue copied. On failure it
+// returns the phase and round the copy died in.
 func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.LogicalHost,
-	tempLH vid.LHID, targetKS vid.PID, rep *MigrationReport) error {
+	tempLH vid.LHID, targetKS vid.PID, rep *MigrationReport, srcMAC, dstMAC ethernet.MAC) (trace.Phase, int, error) {
 
 	// Round 0 copies everything; dirty tracking starts now. Building the
 	// page list and clearing dirty bits is atomic (no blocking between).
@@ -296,8 +400,9 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 
 	for round := 0; ; round++ {
 		roundStart := ctx.Now()
+		mg.atPhase(lh.ID(), trace.PhasePrecopy, round, srcMAC, dstMAC)
 		if _, err := mg.copyRuns(ctx, tempLH, targetKS, pending, rep); err != nil {
-			return err
+			return trace.PhasePrecopy, round, err
 		}
 		dur := ctx.Now().Sub(roundStart)
 		rep.Rounds = append(rep.Rounds, RoundStat{
@@ -321,15 +426,18 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 		if stop {
 			host.Freeze(lh)
 			mg.freezeStart = ctx.Now()
+			mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, srcMAC, dstMAC)
 			rep.ResidualKB = dirtyKB
+			mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
 			_, err := mg.copyRuns(ctx, tempLH, targetKS, dirty, rep)
-			if err == nil {
-				mg.span(trace.Span{
-					LH: lh.ID(), Phase: trace.PhaseResidue, KB: dirtyKB,
-					Start: mg.freezeStart, End: ctx.Now(),
-				})
+			if err != nil {
+				return trace.PhaseResidue, 0, err
 			}
-			return err
+			mg.span(trace.Span{
+				LH: lh.ID(), Phase: trace.PhaseResidue, KB: dirtyKB,
+				Start: mg.freezeStart, End: ctx.Now(),
+			})
+			return 0, 0, nil
 		}
 		pending = dirty
 	}
@@ -366,7 +474,7 @@ func (mg *Migrator) copyRuns(ctx *kernel.ProcCtx, tempLH vid.LHID, targetKS vid.
 				Seg: kernel.EncodePageRun(s.as.ID, batch, data),
 			})
 			if err != nil || !m.OK() {
-				return kb, ErrMigrationFailed
+				return kb, sendErr(err, m)
 			}
 			kb += float64(len(batch)) * mem.PageSize / 1024
 			rep.BytesCopied += int64(len(batch)) * mem.PageSize

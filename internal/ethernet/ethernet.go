@@ -44,11 +44,24 @@ func (f Frame) Size() int { return len(f.Payload) }
 // medium for its transmission time.
 type LossFunc func(f Frame) bool
 
+// CutFunc decides whether delivery of a frame from src to dst is suppressed
+// (a network partition). It may be nil (no cuts). It is consulted once per
+// receiver at delivery time; a cut frame still occupies the medium.
+type CutFunc func(src, dst MAC) bool
+
+// CorruptFunc decides whether a frame is mangled in transit: the frame is
+// delivered, but with its first payload byte zeroed, so the receiver's
+// packet layer rejects it as corrupt. It may be nil (no corruption). Like
+// LossFunc it is consulted once per frame.
+type CorruptFunc func(f Frame) bool
+
 // Stats aggregates segment-level counters.
 type Stats struct {
 	Frames     int64
 	Bytes      int64
 	Dropped    int64
+	Corrupted  int64
+	Cut        int64 // suppressed deliveries (per receiver)
 	Broadcasts int64
 	BusyTime   time.Duration
 }
@@ -60,6 +73,8 @@ type Bus struct {
 	order     []*NIC // attach order, for deterministic broadcast delivery
 	busyUntil sim.Time
 	loss      LossFunc
+	cut       CutFunc
+	corrupt   CorruptFunc
 	stats     Stats
 	trace     *trace.Bus // nil until wired; nil bus is a no-op target
 }
@@ -71,6 +86,20 @@ func NewBus(eng *sim.Engine) *Bus {
 
 // SetLoss installs a loss model. RandomLoss(p, eng) is the common choice.
 func (b *Bus) SetLoss(f LossFunc) { b.loss = f }
+
+// Loss returns the installed loss model (nil if none) so a fault injector
+// can save and restore it around a loss burst.
+func (b *Bus) Loss() LossFunc { return b.loss }
+
+// SetCut installs a partition model consulted per receiver at delivery
+// time (nil to clear).
+func (b *Bus) SetCut(f CutFunc) { b.cut = f }
+
+// SetCorrupt installs a corruption model (nil to clear).
+func (b *Bus) SetCorrupt(f CorruptFunc) { b.corrupt = f }
+
+// Corrupt returns the installed corruption model (nil if none).
+func (b *Bus) Corrupt() CorruptFunc { return b.corrupt }
 
 // Stats returns a copy of the segment counters.
 func (b *Bus) Stats() Stats { return b.stats }
@@ -121,6 +150,18 @@ func (b *Bus) transmit(f Frame) sim.Time {
 	if dropped {
 		b.stats.Dropped++
 	}
+	// Corruption is decided once per frame, at transmit time, so the random
+	// draw order is independent of how many receivers exist.
+	corrupted := !dropped && b.corrupt != nil && b.corrupt(f)
+	if corrupted {
+		b.stats.Corrupted++
+		mangled := make([]byte, len(f.Payload))
+		copy(mangled, f.Payload)
+		if len(mangled) > 0 {
+			mangled[0] = 0 // an invalid packet kind: rejected on receive
+		}
+		f.Payload = mangled
+	}
 	b.trace.Publish(trace.Event{
 		At: start, Host: uint16(f.Src), Kind: trace.EvFrameTx,
 		Size: len(f.Payload), Peer: uint16(f.Dst),
@@ -133,20 +174,40 @@ func (b *Bus) transmit(f Frame) sim.Time {
 			})
 			return
 		}
+		if corrupted {
+			b.trace.Publish(trace.Event{
+				At: end, Host: uint16(f.Src), Kind: trace.EvFrameCorrupt,
+				Size: len(f.Payload), Peer: uint16(f.Dst),
+			})
+		}
 		if f.Dst == Broadcast {
 			b.stats.Broadcasts++
 			for _, n := range b.order {
-				if n.mac != f.Src && n.recv != nil {
+				if n.mac != f.Src && n.recv != nil && !b.severed(f.Src, n.mac, len(f.Payload)) {
 					n.deliver(f)
 				}
 			}
 			return
 		}
-		if n := b.stations[f.Dst]; n != nil && n.recv != nil {
+		if n := b.stations[f.Dst]; n != nil && n.recv != nil && !b.severed(f.Src, f.Dst, len(f.Payload)) {
 			n.deliver(f)
 		}
 	})
 	return end
+}
+
+// severed applies the partition model to one delivery, counting and
+// tracing suppressed ones.
+func (b *Bus) severed(src, dst MAC, size int) bool {
+	if b.cut == nil || !b.cut(src, dst) {
+		return false
+	}
+	b.stats.Cut++
+	b.trace.Publish(trace.Event{
+		At: b.eng.Now(), Host: uint16(src), Kind: trace.EvFrameCut,
+		Size: size, Peer: uint16(dst),
+	})
+	return true
 }
 
 // NIC is one station's interface.

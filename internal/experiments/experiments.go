@@ -94,6 +94,7 @@ func All(seed int64) []*Result {
 		SelectionScaling(seed),
 		MigrationUnderLoss(seed),
 		PrecopyRounds(seed),
+		FaultSweep(seed),
 	}
 }
 
@@ -114,6 +115,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"selection-scale":   SelectionScaling,
 		"migration-loss":    MigrationUnderLoss,
 		"precopy-rounds":    PrecopyRounds,
+		"fault-sweep":       FaultSweep,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -125,7 +127,7 @@ func Names() []string {
 		"remote-exec", "copy-costs", "dirty-rates", "precopy", "overheads",
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "migration-loss",
-		"precopy-rounds",
+		"precopy-rounds", "fault-sweep",
 	}
 }
 

@@ -223,14 +223,15 @@ func CommPaths(seed int64) *Result {
 		return r
 	}
 
-	want := map[string]string{
-		"agent@ws0→pm-group":      "host selection / name query",
-		"agent@ws0→progmgr@ws1":   "program creation request",
-		"progmgr@ws1→fileserver":  "image loading (diskless workstation)",
-		"agent@ws0→kserver(prog)": "start: 'reply to the initial process'",
-		"program→display@ws0":     "terminal output to home display server",
+	want := []struct{ key, why string }{
+		{"agent@ws0→pm-group", "host selection / name query"},
+		{"agent@ws0→progmgr@ws1", "program creation request"},
+		{"progmgr@ws1→fileserver", "image loading (diskless workstation)"},
+		{"agent@ws0→kserver(prog)", "start: 'reply to the initial process'"},
+		{"program→display@ws0", "terminal output to home display server"},
 	}
-	for key, why := range want {
+	for _, w := range want {
+		key, why := w.key, w.why
 		n := seen[key]
 		r.row(key, "present", fmt.Sprintf("%d request(s)", n), why)
 		r.check(n > 0, "missing leg %s", key)

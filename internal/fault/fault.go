@@ -1,0 +1,246 @@
+// Package fault is the cluster's deterministic fault injector: host
+// crashes and restarts at chosen virtual times, network partitions between
+// host sets, bounded loss and corruption bursts, and one-shot migration
+// faults that kill a participant at a precise phase of the §3.1 algorithm.
+//
+// All scheduling goes through the simulation engine and all randomness
+// through its seeded source, so a fault schedule is exactly reproducible:
+// the same seed and the same schedule produce byte-identical trace
+// sequences. Every injected fault is published to the trace bus
+// (EvPartition, EvHeal, EvMigFault; hosts publish their own EvHostCrash /
+// EvHostRestart), so experiments can correlate faults with their effects.
+package fault
+
+import (
+	"fmt"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// Victim selects which migration participant an armed migration fault
+// kills.
+type Victim int
+
+const (
+	// VictimNone disarms.
+	VictimNone Victim = iota
+	// VictimSource kills the originating host (the one running the
+	// migration worker).
+	VictimSource
+	// VictimDest kills the host receiving the new copy.
+	VictimDest
+)
+
+func (v Victim) String() string {
+	switch v {
+	case VictimNone:
+		return "none"
+	case VictimSource:
+		return "source"
+	case VictimDest:
+		return "dest"
+	}
+	return "?"
+}
+
+// PhasePoint identifies one phase boundary of an in-flight migration; the
+// migrator reports these through its FaultHook.
+type PhasePoint struct {
+	LH       vid.LHID // the migrating logical host
+	Phase    trace.Phase
+	Round    int // pre-copy round, when Phase == PhasePrecopy
+	Src, Dst ethernet.MAC
+}
+
+type hostCtl struct {
+	crash, restart func()
+}
+
+type migFault struct {
+	phase  trace.Phase
+	round  int
+	victim Victim
+}
+
+// Injector drives faults into one cluster. Create it with New, register
+// each host's crash/restart controls, then schedule faults. Methods must
+// be called from the simulation goroutine (or before the simulation
+// starts); the *After/*At variants schedule onto it.
+type Injector struct {
+	eng   *sim.Engine
+	net   *ethernet.Bus
+	tb    *trace.Bus
+	hosts map[ethernet.MAC]*hostCtl
+	// cuts holds the active partitions: each entry is two host sets whose
+	// members cannot exchange frames across the divide.
+	cuts [][2]map[ethernet.MAC]bool
+	mig  *migFault
+}
+
+// New creates an injector for the segment and installs its partition model
+// on the bus.
+func New(eng *sim.Engine, net *ethernet.Bus, tb *trace.Bus) *Injector {
+	inj := &Injector{eng: eng, net: net, tb: tb, hosts: make(map[ethernet.MAC]*hostCtl)}
+	net.SetCut(inj.cutFn)
+	return inj
+}
+
+// RegisterHost wires one station's crash and restart controls.
+func (inj *Injector) RegisterHost(mac ethernet.MAC, crash, restart func()) {
+	inj.hosts[mac] = &hostCtl{crash: crash, restart: restart}
+}
+
+func (inj *Injector) ctl(mac ethernet.MAC) *hostCtl {
+	c := inj.hosts[mac]
+	if c == nil {
+		panic(fmt.Sprintf("fault: unregistered host %v", mac))
+	}
+	return c
+}
+
+// Crash powers the host off immediately.
+func (inj *Injector) Crash(mac ethernet.MAC) { inj.ctl(mac).crash() }
+
+// Restart reboots a crashed host immediately.
+func (inj *Injector) Restart(mac ethernet.MAC) { inj.ctl(mac).restart() }
+
+// CrashAt schedules a crash at an absolute virtual time.
+func (inj *Injector) CrashAt(t sim.Time, mac ethernet.MAC) {
+	inj.eng.At(t, func() { inj.Crash(mac) })
+}
+
+// CrashAfter schedules a crash after a delay.
+func (inj *Injector) CrashAfter(d time.Duration, mac ethernet.MAC) {
+	inj.eng.After(d, func() { inj.Crash(mac) })
+}
+
+// RestartAt schedules a restart at an absolute virtual time.
+func (inj *Injector) RestartAt(t sim.Time, mac ethernet.MAC) {
+	inj.eng.At(t, func() { inj.Restart(mac) })
+}
+
+// RestartAfter schedules a restart after a delay.
+func (inj *Injector) RestartAfter(d time.Duration, mac ethernet.MAC) {
+	inj.eng.After(d, func() { inj.Restart(mac) })
+}
+
+// Partition severs the segment between the two host sets: no frame whose
+// source is in one set reaches a receiver in the other (either direction).
+// Hosts within a set, and hosts in neither set, are unaffected. Multiple
+// partitions may be active at once.
+func (inj *Injector) Partition(a, b []ethernet.MAC) {
+	cut := [2]map[ethernet.MAC]bool{macSet(a), macSet(b)}
+	inj.cuts = append(inj.cuts, cut)
+	ev := trace.Event{At: inj.eng.Now(), Kind: trace.EvPartition, Size: len(a) + len(b)}
+	if len(a) > 0 {
+		ev.Host = uint16(a[0])
+	}
+	if len(b) > 0 {
+		ev.Peer = uint16(b[0])
+	}
+	inj.tb.Publish(ev)
+}
+
+// Heal removes every active partition.
+func (inj *Injector) Heal() {
+	if len(inj.cuts) == 0 {
+		return
+	}
+	inj.cuts = nil
+	inj.tb.Publish(trace.Event{At: inj.eng.Now(), Kind: trace.EvHeal})
+}
+
+// PartitionAfter schedules a partition after a delay.
+func (inj *Injector) PartitionAfter(d time.Duration, a, b []ethernet.MAC) {
+	inj.eng.After(d, func() { inj.Partition(a, b) })
+}
+
+// HealAfter schedules a heal after a delay.
+func (inj *Injector) HealAfter(d time.Duration) {
+	inj.eng.After(d, func() { inj.Heal() })
+}
+
+// Partitioned reports whether any partition is active.
+func (inj *Injector) Partitioned() bool { return len(inj.cuts) > 0 }
+
+func macSet(macs []ethernet.MAC) map[ethernet.MAC]bool {
+	s := make(map[ethernet.MAC]bool, len(macs))
+	for _, m := range macs {
+		s[m] = true
+	}
+	return s
+}
+
+// cutFn is the CutFunc installed on the bus: a delivery is suppressed when
+// any active partition separates src from dst.
+func (inj *Injector) cutFn(src, dst ethernet.MAC) bool {
+	for _, cut := range inj.cuts {
+		if (cut[0][src] && cut[1][dst]) || (cut[1][src] && cut[0][dst]) {
+			return true
+		}
+	}
+	return false
+}
+
+// LossBurstAfter schedules a loss burst: after d, each frame is dropped
+// independently with probability p for dur, then the previous loss model
+// is restored. This generalizes a static LossRate to time-bounded bursts.
+func (inj *Injector) LossBurstAfter(d, dur time.Duration, p float64) {
+	inj.eng.After(d, func() {
+		saved := inj.net.Loss()
+		inj.net.SetLoss(ethernet.RandomLoss(inj.eng, p))
+		inj.eng.After(dur, func() { inj.net.SetLoss(saved) })
+	})
+}
+
+// CorruptBurstAfter schedules a corruption burst: after d, each frame is
+// mangled in transit with probability p for dur (the receiver's packet
+// layer rejects it), then the previous corruption model is restored.
+func (inj *Injector) CorruptBurstAfter(d, dur time.Duration, p float64) {
+	eng := inj.eng
+	inj.eng.After(d, func() {
+		saved := inj.net.Corrupt()
+		inj.net.SetCorrupt(func(ethernet.Frame) bool { return eng.Rand().Float64() < p })
+		inj.eng.After(dur, func() { inj.net.SetCorrupt(saved) })
+	})
+}
+
+// MigrationFault arms a one-shot fault: the next migration to reach the
+// given phase (and, for PhasePrecopy, the given round) has the chosen
+// participant crashed at that point. Arming with VictimNone disarms.
+func (inj *Injector) MigrationFault(phase trace.Phase, round int, victim Victim) {
+	if victim == VictimNone {
+		inj.mig = nil
+		return
+	}
+	inj.mig = &migFault{phase: phase, round: round, victim: victim}
+}
+
+// Armed reports whether a migration fault is currently armed.
+func (inj *Injector) Armed() bool { return inj.mig != nil }
+
+// OnPhase is wired as the migrator's FaultHook: when the armed fault
+// matches the reported phase point it crashes the victim and disarms.
+func (inj *Injector) OnPhase(pp PhasePoint) {
+	mf := inj.mig
+	if mf == nil || pp.Phase != mf.phase {
+		return
+	}
+	if mf.phase == trace.PhasePrecopy && pp.Round != mf.round {
+		return
+	}
+	inj.mig = nil
+	victim := pp.Dst
+	if mf.victim == VictimSource {
+		victim = pp.Src
+	}
+	inj.tb.Publish(trace.Event{
+		At: inj.eng.Now(), Host: uint16(victim), Kind: trace.EvMigFault,
+		LH: pp.LH, Prio: int(pp.Phase), Size: pp.Round,
+	})
+	inj.Crash(victim)
+}

@@ -1,0 +1,153 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+)
+
+// rig is a three-station segment with per-station delivery counters.
+type rig struct {
+	eng  *sim.Engine
+	bus  *ethernet.Bus
+	tb   *trace.Bus
+	inj  *Injector
+	nics [3]*ethernet.NIC
+	got  [3][]ethernet.Frame
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	r := &rig{eng: sim.NewEngine(1), tb: trace.NewBus()}
+	r.bus = ethernet.NewBus(r.eng)
+	r.bus.SetTraceBus(r.tb)
+	r.inj = New(r.eng, r.bus, r.tb)
+	for i := range r.nics {
+		i := i
+		r.nics[i] = r.bus.Attach(ethernet.MAC(i + 1))
+		r.nics[i].SetRecv(func(f ethernet.Frame) { r.got[i] = append(r.got[i], f) })
+	}
+	return r
+}
+
+func (r *rig) send(src, dst int, payload byte) {
+	r.nics[src].StartSend(ethernet.Frame{Dst: ethernet.MAC(dst + 1), Payload: []byte{payload}}, nil)
+}
+
+func TestPartitionSeversBothDirectionsAndHeals(t *testing.T) {
+	r := newRig(t)
+	r.inj.Partition([]ethernet.MAC{1}, []ethernet.MAC{2})
+	r.send(0, 1, 'a') // ws0→ws1: cut
+	r.send(1, 0, 'b') // ws1→ws0: cut (other direction)
+	r.send(0, 2, 'c') // ws0→ws2: unaffected
+	r.eng.RunFor(time.Second)
+	if len(r.got[0]) != 0 || len(r.got[1]) != 0 {
+		t.Fatalf("partition leaked: got[0]=%d got[1]=%d", len(r.got[0]), len(r.got[1]))
+	}
+	if len(r.got[2]) != 1 {
+		t.Fatalf("third party affected: got[2]=%d", len(r.got[2]))
+	}
+	if st := r.bus.Stats(); st.Cut != 2 {
+		t.Fatalf("Cut = %d, want 2", st.Cut)
+	}
+	if !r.inj.Partitioned() {
+		t.Fatal("Partitioned() = false with an active cut")
+	}
+
+	// Broadcast from a partitioned host reaches only its own side.
+	r.nics[0].StartSend(ethernet.Frame{Dst: ethernet.Broadcast, Payload: []byte{'d'}}, nil)
+	r.eng.RunFor(time.Second)
+	if len(r.got[1]) != 0 || len(r.got[2]) != 2 {
+		t.Fatalf("broadcast across cut: got[1]=%d got[2]=%d", len(r.got[1]), len(r.got[2]))
+	}
+
+	r.inj.Heal()
+	r.send(0, 1, 'e')
+	r.eng.RunFor(time.Second)
+	if len(r.got[1]) != 1 {
+		t.Fatalf("heal did not restore delivery: got[1]=%d", len(r.got[1]))
+	}
+	if r.tb.Count(trace.EvPartition) != 1 || r.tb.Count(trace.EvHeal) != 1 {
+		t.Fatalf("partition/heal events = %d/%d, want 1/1",
+			r.tb.Count(trace.EvPartition), r.tb.Count(trace.EvHeal))
+	}
+}
+
+func TestLossAndCorruptionBurstsRestoreModels(t *testing.T) {
+	r := newRig(t)
+	// Certain loss for 1 s starting at t=1 s; certain corruption for 1 s
+	// starting at t=3 s.
+	r.inj.LossBurstAfter(time.Second, time.Second, 1.0)
+	r.inj.CorruptBurstAfter(3*time.Second, time.Second, 1.0)
+
+	r.send(0, 1, 'a') // t=0: before bursts, delivered intact
+	r.eng.RunFor(1500 * time.Millisecond)
+	r.send(0, 1, 'b') // t=1.5s: lost
+	r.eng.RunFor(2 * time.Second)
+	r.send(0, 1, 'c') // t=3.5s: delivered, mangled
+	r.eng.RunFor(time.Second)
+	r.send(0, 1, 'd') // t=4.5s: after bursts, delivered intact
+
+	r.eng.RunFor(time.Second)
+	want := []byte{'a', 0, 'd'}
+	if len(r.got[1]) != len(want) {
+		t.Fatalf("delivered %d frames, want %d", len(r.got[1]), len(want))
+	}
+	for i, f := range r.got[1] {
+		if f.Payload[0] != want[i] {
+			t.Fatalf("frame %d payload = %q, want %q", i, f.Payload[0], want[i])
+		}
+	}
+	st := r.bus.Stats()
+	if st.Dropped != 1 || st.Corrupted != 1 {
+		t.Fatalf("Dropped/Corrupted = %d/%d, want 1/1", st.Dropped, st.Corrupted)
+	}
+	if r.bus.Loss() != nil || r.bus.Corrupt() != nil {
+		t.Fatal("burst did not restore the previous (nil) models")
+	}
+}
+
+func TestMigrationFaultMatchesPhaseAndRound(t *testing.T) {
+	r := newRig(t)
+	crashed := map[ethernet.MAC]int{}
+	for _, mac := range []ethernet.MAC{1, 2} {
+		mac := mac
+		r.inj.RegisterHost(mac, func() { crashed[mac]++ }, func() {})
+	}
+	r.inj.MigrationFault(trace.PhasePrecopy, 1, VictimDest)
+	pp := PhasePoint{LH: 0x0101, Src: 1, Dst: 2}
+
+	pp.Phase, pp.Round = trace.PhaseSelect, 0
+	r.inj.OnPhase(pp) // wrong phase: ignored
+	pp.Phase, pp.Round = trace.PhasePrecopy, 0
+	r.inj.OnPhase(pp) // wrong round: ignored
+	if len(crashed) != 0 {
+		t.Fatalf("fault fired early: %v", crashed)
+	}
+	pp.Round = 1
+	r.inj.OnPhase(pp)
+	if crashed[2] != 1 || crashed[1] != 0 {
+		t.Fatalf("victim selection wrong: %v", crashed)
+	}
+	if r.inj.Armed() {
+		t.Fatal("fault did not disarm after firing")
+	}
+	r.inj.OnPhase(pp) // disarmed: no second crash
+	if crashed[2] != 1 {
+		t.Fatalf("fault fired twice: %v", crashed)
+	}
+	if r.tb.Count(trace.EvMigFault) != 1 {
+		t.Fatalf("EvMigFault count = %d, want 1", r.tb.Count(trace.EvMigFault))
+	}
+
+	// VictimSource kills the other side.
+	r.inj.MigrationFault(trace.PhaseSwap, 0, VictimSource)
+	pp.Phase, pp.Round = trace.PhaseSwap, 0
+	r.inj.OnPhase(pp)
+	if crashed[1] != 1 {
+		t.Fatalf("source victim not crashed: %v", crashed)
+	}
+}

@@ -88,6 +88,7 @@ type Engine struct {
 	forward  map[vid.LHID]ethernet.MAC
 	stats    Stats
 	trace    *trace.Bus // nil until wired; nil bus is a no-op target
+	down     bool       // crashed host: frames drop, queued work is discarded
 
 	// NoRebind disables the logical-host rebinding machinery (cache
 	// invalidation after unanswered retransmissions): the Demos/MP
@@ -145,11 +146,34 @@ func New(se *sim.Engine, nic *ethernet.NIC, c *cpu.CPU, res Resolver) *Engine {
 		GroupIndirection: true,
 	}
 	nic.SetRecv(func(f ethernet.Frame) {
+		if e.down {
+			return // powered off: the NIC hears nothing
+		}
 		ff := f
 		e.jobs.Push(job{frame: &ff})
 	})
 	se.Spawn(fmt.Sprintf("netd@%v", nic.MAC()), e.netd)
 	return e
+}
+
+// SetDown marks the host as powered off (or back on). While down the
+// engine neither receives frames nor executes queued protocol work, so a
+// crashed host cannot answer locates or requests; unlike replacing the NIC
+// callback this is reversible, which is what makes restart possible.
+func (e *Engine) SetDown(down bool) { e.down = down }
+
+// Down reports whether the engine is powered off.
+func (e *Engine) Down() bool { return e.down }
+
+// Reset clears all soft protocol state — binding cache, reassembly and
+// repair buffers, forwarding addresses — and powers the engine back on.
+// Called when a crashed host reboots: a fresh kernel remembers nothing.
+func (e *Engine) Reset() {
+	e.down = false
+	e.cache = make(map[vid.LHID]ethernet.MAC)
+	e.reasm = make(map[reasmKey]*reasmBuf)
+	e.txBuf = make(map[reasmKey]*fragSource)
+	e.forward = make(map[vid.LHID]ethernet.MAC)
 }
 
 // Sim returns the simulation engine.
@@ -204,6 +228,9 @@ func (e *Engine) Defer(fn func(*sim.Task)) { e.jobs.Push(job{fn: fn}) }
 func (e *Engine) netd(t *sim.Task) {
 	for {
 		j := e.jobs.Pop(t)
+		if e.down {
+			continue // in-flight kernel work dies with the host
+		}
 		switch {
 		case j.out != nil:
 			e.sendNow(t, j.out.pkt, j.out.dst)

@@ -53,6 +53,12 @@ type Host struct {
 	// the program down and notify waiters.
 	OnLHEmpty func(lh *LogicalHost)
 
+	// OnLHIDChanged is invoked (if set) after a resident logical host
+	// assumes a new identity (the migration swap, §3.1.1); the program
+	// manager uses it to arm its orphaned-receptacle watchdog so that a
+	// source host dying after the swap leaves the new copy authoritative.
+	OnLHIDChanged func(lh *LogicalHost, old vid.LHID)
+
 	// Crashed simulates a powered-off workstation: the NIC drops all
 	// traffic and no new work is accepted.
 	crashed bool
@@ -120,10 +126,10 @@ func (h *Host) MemFree() uint32 { return h.memFree }
 // Crashed reports whether the host is simulated as powered off.
 func (h *Host) Crashed() bool { return h.crashed }
 
-// Crash simulates the workstation failing or being rebooted: all logical
-// hosts (including the system one) vanish, their processes die, and the
-// station stops responding to the network. Used by the residual-dependency
-// experiments.
+// Crash simulates the workstation failing: all logical hosts (including
+// the system one) vanish, their processes die, and the station stops
+// responding to the network. Used by the residual-dependency experiments
+// and the fault injector. A crashed host can be brought back with Restart.
 func (h *Host) Crash() {
 	if h.crashed {
 		return
@@ -141,7 +147,35 @@ func (h *Host) Crash() {
 		}
 	}
 	h.lhs = make(map[vid.LHID]*LogicalHost)
-	h.NIC.SetRecv(func(ethernet.Frame) {})
+	h.groups = make(map[vid.PID][]vid.PID)
+	h.wellKnown = make(map[uint16]vid.PID)
+	h.OnLHEmpty = nil
+	h.OnLHIDChanged = nil
+	h.IPC.SetDown(true)
+	h.trace.Publish(trace.Event{
+		At: h.Eng.Now(), Host: uint16(h.NIC.MAC()), Kind: trace.EvHostCrash,
+	})
+}
+
+// Restart reboots a crashed workstation: the kernel comes back with empty
+// tables, a fresh system logical host (under a new LHID — identities that
+// died with the crash stay dead), a fresh kernel server, and an empty
+// binding cache, then announces its system binding so peers with stale
+// caches rediscover it. Resident servers (program manager, display) must
+// be restarted by the boot layer on top, as at initial boot.
+func (h *Host) Restart() {
+	if !h.crashed {
+		return
+	}
+	h.crashed = false
+	h.memFree = params.WorkstationMemory - systemReserve
+	h.IPC.Reset()
+	h.systemLH = h.newLH("system:"+h.Name, false, true)
+	h.startKernelServer()
+	h.trace.Publish(trace.Event{
+		At: h.Eng.Now(), Host: uint16(h.NIC.MAC()), Kind: trace.EvHostRestart,
+	})
+	h.IPC.BroadcastBinding(h.systemLH.id)
 }
 
 // hostResolver adapts Host to ipc.Resolver without exporting the methods
@@ -400,9 +434,13 @@ func (h *Host) ChangeLHID(lh *LogicalHost, final vid.LHID) error {
 	if _, taken := h.lhs[final]; taken {
 		return vid.CodeError(vid.CodeRefused)
 	}
+	old := lh.id
 	delete(h.lhs, lh.id)
 	lh.id = final
 	h.lhs[final] = lh
+	if h.OnLHIDChanged != nil {
+		h.OnLHIDChanged(lh, old)
+	}
 	return nil
 }
 

@@ -189,6 +189,35 @@ var (
 // response before retrying.
 const SelectTimeout = 500 * time.Millisecond
 
+// --------------------------------------------------------- fault tolerance
+
+const (
+	// MigrateMaxAttempts bounds how many destinations a migration tries
+	// before giving up (the paper's implementation "simply gives up" after
+	// the first failure, §3.1.3; retrying to an alternate host preserves
+	// its safety property — the original is unfrozen between attempts).
+	MigrateMaxAttempts = 3
+
+	// MigrateRetryBackoff is the delay before retrying a failed migration
+	// to an alternate host, doubled per attempt.
+	MigrateRetryBackoff = 500 * time.Millisecond
+
+	// OrphanAdoptDelay: after an incoming migration receptacle assumes its
+	// final identity (the LHID swap), the destination waits this long for
+	// the source's unfreeze/assume messages; if they never arrive, the
+	// source died after the swap and the destination unfreezes the new
+	// copy itself — the new copy is authoritative (§3.1.3). Much longer
+	// than the normal swap→unfreeze gap (milliseconds), much shorter than
+	// a sender abort (~5 s).
+	OrphanAdoptDelay = 1 * time.Second
+
+	// ReceptacleTTL bounds how long an incoming migration receptacle that
+	// never assumed its final identity is retained: a source that dies
+	// mid-copy leaves a frozen placeholder which would otherwise pin its
+	// memory forever.
+	ReceptacleTTL = 30 * time.Second
+)
+
 // WireTime returns the transmission time of a frame with n payload bytes on
 // the shared Ethernet.
 func WireTime(n int) time.Duration {

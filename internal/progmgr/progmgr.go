@@ -15,6 +15,7 @@ package progmgr
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -103,6 +104,14 @@ type Migrator interface {
 	Migrate(ctx *kernel.ProcCtx, pm *PM, lh *kernel.LogicalHost) (report []byte, newPM vid.PID, err error)
 }
 
+// PhaseTagged is implemented by migration errors that know which phase
+// they died in; the program manager relays the tag in its refusal reply
+// (W0 = phase+1, W1 = pre-copy round) so requesters on other hosts can
+// reconstruct a typed error.
+type PhaseTagged interface {
+	PhaseTag() (phase, round uint32)
+}
+
 // progInfo tracks one program.
 type progInfo struct {
 	lh       *kernel.LogicalHost
@@ -146,6 +155,7 @@ func Start(h *kernel.Host) *PM {
 	h.RegisterWellKnown(vid.IdxProgramManager, pm.proc.PID())
 	h.JoinGroup(vid.GroupProgramManagers, pm.proc.PID())
 	h.OnLHEmpty = pm.onLHEmpty
+	h.OnLHIDChanged = pm.onLHIDChanged
 	pm.reaper = h.SpawnServer("pm-reaper", 4096, pm.reap)
 	pm.worker = h.SpawnServer("pm-migrate", 16*1024, pm.migrateLoop)
 	return pm
@@ -244,7 +254,12 @@ func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
 			}
 			return vid.Message{Op: PmMigrateProgram, W: [6]uint32{1}}
 		}
-		return vid.ErrMsg(vid.CodeRefused)
+		reply := vid.ErrMsg(vid.CodeRefused)
+		var pt PhaseTagged
+		if errors.As(err, &pt) {
+			reply.W[0], reply.W[1] = pt.PhaseTag()
+		}
+		return reply
 	}
 	// The program now belongs to the new host's manager: release local
 	// bookkeeping and redirect waiters.
@@ -274,9 +289,12 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 		case PmSelectHost:
 			// Evaluate availability: CPU idle at program priorities and
 			// enough free memory. The evaluation cost dominates the
-			// paper's 23 ms host-selection time.
-			if vid.LHID(m.W[1]) == pm.host.SystemLH().ID() {
-				port.Drop(req) // the requester excludes itself
+			// paper's 23 ms host-selection time. W1..W4 carry excluded
+			// system LHs: the requester's own host plus destinations that
+			// already failed this migration.
+			self := uint32(pm.host.SystemLH().ID())
+			if m.W[1] == self || m.W[2] == self || m.W[3] == self || m.W[4] == self {
+				port.Drop(req)
 				continue
 			}
 			ctx.Compute(params.SelectProbeCPU)
@@ -514,9 +532,70 @@ func (pm *PM) initMigration(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 	}
 	pm.host.Freeze(lh)
 	pm.progs[req.FinalLH] = &progInfo{lh: lh, name: req.Name, guest: req.Guest, incoming: true}
+	// A receptacle whose source dies mid-copy never assumes its final
+	// identity; garbage-collect it so it cannot pin memory forever.
+	tempID := lh.ID()
+	pm.host.Eng.After(params.ReceptacleTTL, func() {
+		pm.reapReceptacle(req.FinalLH, tempID)
+	})
 	return vid.Message{Op: m.Op, W: [6]uint32{
 		uint32(lh.ID()), uint32(pm.host.SystemLH().ID()), 0, 0, 0, uint32(pm.PID()),
 	}}
+}
+
+// reapReceptacle destroys an incoming receptacle that never assumed its
+// final identity within ReceptacleTTL (the source died before the swap).
+func (pm *PM) reapReceptacle(final, tempID vid.LHID) {
+	if pm.host.Crashed() {
+		return
+	}
+	pi := pm.progs[final]
+	if pi == nil || !pi.incoming || pi.lh.ID() != tempID {
+		return // assumed, swapped, or already torn down
+	}
+	if cur, ok := pm.host.LookupLH(tempID); !ok || cur != pi.lh {
+		return
+	}
+	pm.host.DestroyLH(pi.lh)
+	delete(pm.progs, final)
+}
+
+// onLHIDChanged runs when a resident logical host assumes a new identity.
+// For an incoming migration receptacle this is the atomic swap of §3.1.1:
+// from here on the new copy owns the identity, so if the source dies
+// before sending its unfreeze/assume messages, the destination must
+// finish the hand-over itself (source death after the swap leaves the new
+// copy authoritative, §3.1.3).
+func (pm *PM) onLHIDChanged(lh *kernel.LogicalHost, old vid.LHID) {
+	pi := pm.progs[lh.ID()]
+	if pi == nil || !pi.incoming || pi.lh != lh {
+		return
+	}
+	final := lh.ID()
+	pm.host.Eng.After(params.OrphanAdoptDelay, func() { pm.adoptOrphan(final, lh) })
+}
+
+// adoptOrphan fires OrphanAdoptDelay after the LHID swap: in the normal
+// case the source has long since unfrozen the copy and sent
+// PmAssumeMigration (making this a no-op); if the program is still an
+// unclaimed frozen receptacle, the source died after the swap and the
+// destination unfreezes the authoritative new copy itself, broadcasting
+// its binding so peers rebind.
+func (pm *PM) adoptOrphan(final vid.LHID, lh *kernel.LogicalHost) {
+	if pm.host.Crashed() {
+		return
+	}
+	pi := pm.progs[final]
+	if pi == nil || !pi.incoming || pi.lh != lh {
+		return
+	}
+	if cur, ok := pm.host.LookupLH(final); !ok || cur != lh {
+		return
+	}
+	pi.incoming = false
+	if lh.Frozen() {
+		pm.host.Unfreeze(lh, true)
+	}
 }
 
 // AssumeIncoming finalizes an incoming migration: the placeholder has been

@@ -67,6 +67,25 @@ const (
 	EvUnfreeze
 	// EvDispatch: the CPU scheduler granted a slice.
 	EvDispatch
+	// EvFrameCut: a network partition suppressed delivery of a frame to
+	// one receiver (the frame still occupied the medium).
+	EvFrameCut
+	// EvFrameCorrupt: the corruption model mangled a frame in transit;
+	// the receiver will count it as an RxCorrupt drop.
+	EvFrameCorrupt
+	// EvHostCrash: a workstation powered off (all logical hosts died).
+	EvHostCrash
+	// EvHostRestart: a crashed workstation rebooted with a fresh system
+	// logical host and re-announced itself.
+	EvHostRestart
+	// EvPartition: the fault injector split the segment into two sets
+	// that can no longer exchange frames.
+	EvPartition
+	// EvHeal: the fault injector removed all active partitions.
+	EvHeal
+	// EvMigFault: the fault injector killed a migration participant at an
+	// armed phase (Prio carries the phase, Size the pre-copy round).
+	EvMigFault
 
 	numKinds
 )
@@ -74,6 +93,8 @@ const (
 var kindNames = [numKinds]string{
 	"frame-tx", "frame-drop", "tx", "rx", "local", "drop", "retx",
 	"reply-pending", "locate", "rebind", "freeze", "unfreeze", "dispatch",
+	"frame-cut", "frame-corrupt", "host-crash", "host-restart",
+	"partition", "heal", "mig-fault",
 }
 
 func (k Kind) String() string {
