@@ -113,9 +113,12 @@ func TestSourceCrashAfterSwapDestAdopts(t *testing.T) {
 		if ev.Kind != trace.EvMigFault {
 			return
 		}
-		// Past the adoption delay the program must be live and unfrozen
-		// on a host other than the dead source.
-		c.Sim.After(3*time.Second, func() {
+		// The destination adopts only after probing the dead source:
+		// OrphanAdoptDelay (1 s) plus OrphanProbeAttempts unanswered
+		// probes at a full send abort (~5 s) each, ≈11 s in all. Past
+		// that window the program must be live and unfrozen on a host
+		// other than the dead source.
+		c.Sim.After(20*time.Second, func() {
 			adoptedChecked = true
 			n, lh := c.FindProgram(job.LHID)
 			adoptedOK = n != nil && n != c.Node(1) && !lh.Frozen()
@@ -155,6 +158,82 @@ func TestSourceCrashAfterSwapDestAdopts(t *testing.T) {
 		t.Fatalf("destination did not adopt the orphaned copy (checked=%v ok=%v)",
 			adoptedChecked, adoptedOK)
 	}
+	assertGapless(t, c.Node(0).Display.Lines(), 400)
+}
+
+// TestRebindPartitionNoSplitBrain regresses the split-brain hazard at the
+// commit point: the network partitions between source and destination the
+// instant the LHID swap commits (the PhaseRebind boundary) and heals 6 s
+// later — past the source's ~5 s send abort on the unfreeze request, so
+// both sides must decide under ambiguity. The source must confirm with the
+// destination that the swap took effect rather than declare failure (and
+// unfreeze the original, or worse retry to a third host), and the
+// destination must keep probing the live source rather than adopt
+// unilaterally. Exactly one copy survives, with no lost or duplicated
+// output.
+func TestRebindPartitionNoSplitBrain(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 35})
+	c.Install(progs.Ticker(400))
+
+	mig := c.Node(1).PM.Migrator.(*Migrator)
+	base := mig.FaultHook
+	cut := false
+	mig.FaultHook = func(pp fault.PhasePoint) {
+		if base != nil {
+			base(pp)
+		}
+		if pp.Phase == trace.PhaseRebind && !cut {
+			cut = true
+			c.Fault.Partition([]ethernet.MAC{pp.Src}, []ethernet.MAC{pp.Dst})
+			c.Fault.HealAfter(6 * time.Second)
+		}
+	}
+
+	// Keep ws0 busy so it never answers selection: candidates are ws2/ws3.
+	var busyErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, busyErr = a.Exec("tex", nil, "")
+	})
+	var job *Job
+	var rep *MigrationReport
+	var execErr, migErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		a.Sleep(800 * time.Millisecond)
+		rep, migErr = a.Migrate(job, false)
+		if migErr != nil {
+			return
+		}
+		_, waitErr = a.Wait(job)
+	})
+	c.Run(5 * time.Minute)
+
+	if busyErr != nil || execErr != nil {
+		t.Fatalf("busy=%v exec=%v", busyErr, execErr)
+	}
+	if !cut {
+		t.Fatal("fault hook never saw the rebind boundary")
+	}
+	if migErr != nil {
+		t.Fatalf("Migrate = %v; the swap had committed, so the source must report success", migErr)
+	}
+	if waitErr != nil {
+		t.Fatalf("Wait = %v", waitErr)
+	}
+	if got := c.Trace.Count(trace.EvHostCrash); got != 0 {
+		t.Fatalf("EvHostCrash count = %d, want 0", got)
+	}
+	if mig.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (the identity had moved; no third copy)", mig.Retries)
+	}
+	if rep == nil {
+		t.Fatal("no migration report")
+	}
+	// Gapless, duplicate-free output is the split-brain detector: two
+	// live copies of the ticker would both print and duplicate ticks.
 	assertGapless(t, c.Node(0).Display.Lines(), 400)
 }
 

@@ -100,11 +100,19 @@ var ErrMigrationFailed = errors.New("core: migration failed")
 // failed in. It matches both ErrMigrationFailed and its cause under
 // errors.Is/As, and carries the failed destination so a retry can exclude
 // it.
+//
+// Retryable is set only by the migrator itself: true means the attempt is
+// known not to have moved the logical host's identity (all pre-swap phases,
+// plus swap/rebind failures where the destination positively confirmed the
+// copy does not hold it), so trying an alternate host cannot produce a
+// second live copy. Errors reconstructed from the wire (Agent.Migrate) do
+// not carry it.
 type PhaseError struct {
-	Phase trace.Phase
-	Round int      // pre-copy round, when Phase == trace.PhasePrecopy
-	Dest  vid.LHID // destination system LH; 0 if selection never completed
-	Err   error    // underlying cause (send abort, refused reply, ...)
+	Phase     trace.Phase
+	Round     int      // pre-copy round, when Phase == trace.PhasePrecopy
+	Dest      vid.LHID // destination system LH; 0 if selection never completed
+	Retryable bool     // identity provably did not move; alternate-host retry is safe
+	Err       error    // underlying cause (send abort, refused reply, ...)
 }
 
 func (e *PhaseError) Error() string {
@@ -191,7 +199,12 @@ func (mg *Migrator) atPhase(lh vid.LHID, ph trace.Phase, round int, src, dst eth
 // running (§3.1.3); the migrator then retries to an alternate host,
 // excluding destinations that already failed, with exponential backoff,
 // up to params.MigrateMaxAttempts. Selection failures (no willing host)
-// are not retried — there is nowhere else to go.
+// are not retried — there is nowhere else to go — and neither are
+// failures where the identity swap may already have taken effect on the
+// unreachable destination (the copy there would be adopted and unfrozen;
+// retrying to a third host could then run the same logical host twice).
+// Only attempts marked Retryable — identity provably still here — are
+// redirected.
 func (mg *Migrator) Migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost) ([]byte, vid.PID, error) {
 	host := pm.Host()
 	var excludes []vid.LHID
@@ -206,8 +219,8 @@ func (mg *Migrator) Migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 			firstErr = err
 		}
 		var pe *PhaseError
-		if !errors.As(err, &pe) || pe.Dest == 0 || len(excludes) >= 3 {
-			break // no known-bad destination to route around
+		if !errors.As(err, &pe) || !pe.Retryable || pe.Dest == 0 || len(excludes) >= 3 {
+			break // unsafe to retry, or no known-bad destination to route around
 		}
 		excludes = append(excludes, pe.Dest)
 		if attempt+1 >= params.MigrateMaxAttempts {
@@ -250,12 +263,14 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 			Name:    lh.Name(),
 			Guest:   lh.Guest(),
 			FinalLH: lh.ID(),
+			SrcLH:   host.SystemLH().ID(),
 			Spaces:  descs,
 		}),
 	})
 	if err != nil || !initRep.OK() {
 		return nil, &PhaseError{
-			Phase: trace.PhaseSelect, Dest: sel.SystemLH, Err: sendErr(err, initRep),
+			Phase: trace.PhaseSelect, Dest: sel.SystemLH, Retryable: true,
+			Err: sendErr(err, initRep),
 		}
 	}
 	tempLH := vid.LHID(initRep.W[0])
@@ -264,21 +279,24 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSelect, Start: start, End: ctx.Now()})
 	mg.atPhase(lh.ID(), trace.PhaseSelect, 0, srcMAC, dstMAC)
 
-	fail := func(ph trace.Phase, round int, cause error) (*MigrationReport, error) {
-		// Copy failed: assume the new host is gone, unfreeze the old copy
-		// to avoid timeouts (§3.1.3 — "the execution of the program is
+	fail := func(ph trace.Phase, round int, retryable bool, cause error) (*MigrationReport, error) {
+		// Copy failed: keep the original authoritative and unfreeze it to
+		// avoid timeouts (§3.1.3 — "the execution of the program is
 		// unaffected except for a delay"; the paper's implementation then
 		// "simply gives up"; ours additionally lets Migrate retry to an
-		// alternate host).
+		// alternate host, but only when the identity provably never moved).
 		host.Unfreeze(lh, false)
-		return nil, &PhaseError{Phase: ph, Round: round, Dest: sel.SystemLH, Err: cause}
+		return nil, &PhaseError{
+			Phase: ph, Round: round, Dest: sel.SystemLH, Retryable: retryable, Err: cause,
+		}
 	}
 
-	// 3+4. Copy address-space state per policy, ending frozen.
+	// 3+4. Copy address-space state per policy, ending frozen. All of these
+	// phases precede the identity swap, so their failures are retry-safe.
 	switch mg.Policy {
 	case PolicyPrecopy, PolicyForwarding:
 		if ph, round, err := mg.precopy(ctx, host, lh, tempLH, targetKS, rep, srcMAC, dstMAC); err != nil {
-			return fail(ph, round, err)
+			return fail(ph, round, true, err)
 		}
 	case PolicyStopCopy:
 		host.Freeze(lh)
@@ -292,14 +310,14 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
 		kb, err := mg.copyRuns(ctx, tempLH, targetKS, all, rep)
 		if err != nil {
-			return fail(trace.PhaseResidue, 0, err)
+			return fail(trace.PhaseResidue, 0, true, err)
 		}
 		rep.ResidualKB = kb
 		rep.Rounds = append(rep.Rounds, RoundStat{Pages: int(kb), KB: kb, Dur: ctx.Now().Sub(mg.freezeStart)})
 		mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
 	case PolicyFlush:
 		if err := mg.flushOut(ctx, pm, lh, rep); err != nil {
-			return fail(trace.PhasePrecopy, 0, err)
+			return fail(trace.PhasePrecopy, 0, true, err)
 		}
 	default:
 		return nil, fmt.Errorf("%w: unknown policy %v", ErrMigrationFailed, mg.Policy)
@@ -317,7 +335,9 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		Op: kernel.KsSetState, W: [6]uint32{uint32(tempLH)}, Seg: st.Encode(),
 	})
 	if err != nil || !m.OK() {
-		return fail(trace.PhaseSwap, 0, sendErr(err, m))
+		// The placeholder still holds its temporary identity, so nothing
+		// has moved: retrying elsewhere is safe.
+		return fail(trace.PhaseSwap, 0, true, sendErr(err, m))
 	}
 	// Assume the original identity. Until this succeeds the original is
 	// authoritative; once it succeeds the new copy owns the identity and
@@ -326,8 +346,27 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	m, err = ctx.Send(targetKS, vid.Message{
 		Op: kernel.KsChangeLHID, W: [6]uint32{uint32(tempLH), uint32(lh.ID())},
 	})
-	if err != nil || !m.OK() {
-		return fail(trace.PhaseSwap, 0, sendErr(err, m))
+	switch {
+	case err != nil:
+		// The send aborted with no reply — but the request may well have
+		// been executed and only the reply lost, in which case the
+		// destination owns the identity and its adoption watchdog will
+		// unfreeze the copy. Ask the destination whether the swap actually
+		// happened before deciding.
+		switch confirmed, swapped := mg.probeDest(ctx, targetKS, lh.ID()); {
+		case confirmed && swapped:
+			// Swap took effect; proceed as if the reply had arrived.
+		case confirmed:
+			return fail(trace.PhaseSwap, 0, true, err)
+		default:
+			// Destination unreachable: the copy there may yet be adopted,
+			// so the identity must not be offered to a third host. Keep
+			// the original running and give up.
+			return fail(trace.PhaseSwap, 0, false, err)
+		}
+	case !m.OK():
+		// Definitive refusal from a live destination: no swap happened.
+		return fail(trace.PhaseSwap, 0, true, m.Err())
 	}
 	rep.KernelTime = ctx.Now().Sub(kStart)
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSwap, Start: kStart, End: ctx.Now()})
@@ -348,8 +387,27 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	m, err = ctx.Send(targetKS, vid.Message{
 		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(lh.ID()), broadcast},
 	})
-	if err != nil || !m.OK() {
-		return fail(trace.PhaseRebind, 0, sendErr(err, m))
+	switch {
+	case err != nil:
+		// Past the swap the copy is authoritative if it exists; confirm
+		// before abandoning it.
+		switch confirmed, resident := mg.probeDest(ctx, targetKS, lh.ID()); {
+		case confirmed && resident:
+			// The copy is alive and owns the identity; whether or not the
+			// unfreeze request itself got through, the destination's
+			// adoption watchdog (or our assume notice below) finishes the
+			// unfreeze. Treat the migration as committed.
+		case confirmed:
+			// The destination lost the copy (crashed and rebooted between
+			// swap and unfreeze): the identity is free again and the
+			// original survives — retrying elsewhere is safe.
+			return fail(trace.PhaseRebind, 0, true, err)
+		default:
+			return fail(trace.PhaseRebind, 0, false, err)
+		}
+	case !m.OK():
+		// Live destination refused: it no longer holds the copy.
+		return fail(trace.PhaseRebind, 0, true, m.Err())
 	}
 	rep.FreezeTime = ctx.Now().Sub(mg.freezeStart)
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseRebind, Start: rbStart, End: ctx.Now()})
@@ -367,6 +425,21 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	})
 	rep.Total = ctx.Now().Sub(start)
 	return rep, nil
+}
+
+// probeDest asks the destination kernel whether the given logical-host
+// identity is resident there — the ground truth needed when a swap or
+// rebind send aborts without a reply (the request may have executed with
+// only the reply lost). confirmed is false when the destination cannot be
+// reached at all, in which case the caller must assume the worst.
+func (mg *Migrator) probeDest(ctx *kernel.ProcCtx, targetKS vid.PID, id vid.LHID) (confirmed, resident bool) {
+	m, err := ctx.Send(targetKS, vid.Message{
+		Op: kernel.KsQueryLH, W: [6]uint32{uint32(id)},
+	})
+	if err != nil {
+		return false, false
+	}
+	return true, m.OK()
 }
 
 type spacePages struct {

@@ -166,10 +166,14 @@ func (e *Engine) SetDown(down bool) { e.down = down }
 func (e *Engine) Down() bool { return e.down }
 
 // Reset clears all soft protocol state — binding cache, reassembly and
-// repair buffers, forwarding addresses — and powers the engine back on.
-// Called when a crashed host reboots: a fresh kernel remembers nothing.
+// repair buffers, forwarding addresses, and any protocol work still queued
+// for netd from before the crash — and powers the engine back on. Called
+// when a crashed host reboots: a fresh kernel remembers nothing, and
+// pre-crash jobs must not execute on it (netd discards them only lazily,
+// so a quick crash/restart could otherwise leave them live).
 func (e *Engine) Reset() {
 	e.down = false
+	e.jobs.Clear()
 	e.cache = make(map[vid.LHID]ethernet.MAC)
 	e.reasm = make(map[reasmKey]*reasmBuf)
 	e.txBuf = make(map[reasmKey]*fragSource)

@@ -135,9 +135,16 @@ func (c *ProcCtx) Send(dst vid.PID, msg vid.Message) (vid.Message, error) {
 // StartSend begins a send transaction. A body that may migrate while
 // awaiting the reply records a resume phase in its registers and calls
 // AwaitReply on re-entry (checking Sending()).
+//
+// The transaction is recorded in the port *before* the freeze gate: once
+// the caller has committed (in its registers) to having issued this send,
+// parking it must leave a state snapshot with the send in flight, not one
+// where the send silently never happened. A freeze arriving here thus
+// captures an issued transaction that the migrated copy resumes by
+// retransmitting — the replier's duplicate detection keeps that exact-once.
 func (c *ProcCtx) StartSend(dst vid.PID, msg vid.Message) {
-	c.gate()
 	c.proc.port.StartSend(c.task, dst, msg)
+	c.gate()
 }
 
 // Sending reports whether a send transaction is outstanding (set after a

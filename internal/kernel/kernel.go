@@ -256,6 +256,11 @@ type LogicalHost struct {
 	unfreeze sim.WaitQ
 	exitCode uint32 // exit code of the last process to exit
 
+	// lastWrite is the virtual time of the last externally driven state
+	// write (page runs, installed spaces, kernel state) — the activity
+	// signal a migration receptacle's inactivity reaper keys off.
+	lastWrite sim.Time
+
 	procs   map[uint16]*Process
 	spaces  map[uint32]*mem.AddressSpace
 	nextIdx uint16
@@ -275,14 +280,15 @@ func (h *Host) newLH(name string, guest, system bool) *LogicalHost {
 		panic("kernel: duplicate LHID")
 	}
 	lh := &LogicalHost{
-		id:      id,
-		host:    h,
-		name:    name,
-		guest:   guest,
-		system:  system,
-		procs:   make(map[uint16]*Process),
-		spaces:  make(map[uint32]*mem.AddressSpace),
-		nextIdx: vid.IdxFirstProcess,
+		id:        id,
+		host:      h,
+		name:      name,
+		guest:     guest,
+		system:    system,
+		procs:     make(map[uint16]*Process),
+		spaces:    make(map[uint32]*mem.AddressSpace),
+		nextIdx:   vid.IdxFirstProcess,
+		lastWrite: h.Eng.Now(),
 	}
 	h.lhs[id] = lh
 	return lh
@@ -328,6 +334,12 @@ func (lh *LogicalHost) Frozen() bool { return lh.frozen }
 // ExitCode returns the exit code of the last process that exited in this
 // logical host (the program's exit status once the host is empty).
 func (lh *LogicalHost) ExitCode() uint32 { return lh.exitCode }
+
+// LastWriteAt returns the virtual time of the last externally driven state
+// write into this logical host (creation counts as the first). The program
+// manager uses it to reap only *inactive* migration receptacles, so a slow
+// but live copy is never destroyed mid-transfer.
+func (lh *LogicalHost) LastWriteAt() sim.Time { return lh.lastWrite }
 
 // Host returns the physical host the logical host currently resides on.
 func (lh *LogicalHost) Host() *Host { return lh.host }

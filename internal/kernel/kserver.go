@@ -102,6 +102,7 @@ func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
 		if _, err := lh.InstallSpace(m.W[1], m.W[2]); err != nil {
 			return vid.ErrMsg(vid.CodeNoMemory)
 		}
+		lh.lastWrite = h.Eng.Now()
 		return vid.Message{Op: m.Op}
 
 	case KsCreateProcess:
@@ -150,6 +151,7 @@ func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
 				return vid.ErrMsg(vid.CodeBadRequest)
 			}
 		}
+		lh.lastWrite = h.Eng.Now()
 		return vid.Message{Op: m.Op}
 
 	case KsReadPages:
@@ -214,6 +216,7 @@ func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
 		if err := h.InstallKernelState(lh, st); err != nil {
 			return vid.ErrMsg(vid.CodeRefused)
 		}
+		lh.lastWrite = h.Eng.Now()
 		return vid.Message{Op: m.Op}
 
 	case KsChangeLHID:

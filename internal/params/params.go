@@ -204,17 +204,32 @@ const (
 
 	// OrphanAdoptDelay: after an incoming migration receptacle assumes its
 	// final identity (the LHID swap), the destination waits this long for
-	// the source's unfreeze/assume messages; if they never arrive, the
-	// source died after the swap and the destination unfreezes the new
-	// copy itself — the new copy is authoritative (§3.1.3). Much longer
-	// than the normal swap→unfreeze gap (milliseconds), much shorter than
-	// a sender abort (~5 s).
+	// the source's unfreeze/assume messages before it starts *probing* the
+	// source. Adoption is never taken on this delay alone — the destination
+	// unfreezes the copy only when the source positively reports the
+	// original gone, or after OrphanProbeAttempts consecutive unanswered
+	// probes (each a full send abort, ~5 s), so a source that is merely
+	// slow or briefly unreachable cannot race it into split-brain. Much
+	// longer than the normal swap→unfreeze gap (milliseconds).
 	OrphanAdoptDelay = 1 * time.Second
 
-	// ReceptacleTTL bounds how long an incoming migration receptacle that
-	// never assumed its final identity is retained: a source that dies
-	// mid-copy leaves a frozen placeholder which would otherwise pin its
-	// memory forever.
+	// OrphanProbeAttempts: consecutive unanswered liveness probes of the
+	// source (each one riding out a full send abort, AbortAfterRetries ×
+	// RetransmitInterval ≈ 5 s) after which the destination presumes the
+	// source dead and adopts the orphaned copy. Two attempts give ≈10 s of
+	// continuous silence — comfortably longer than the source's own send
+	// abort, so a live source always gets to resolve the hand-over first.
+	// A partition that outlasts this window can still yield two live
+	// copies; that residual ambiguity is inherent to fail-stop detection
+	// by timeout.
+	OrphanProbeAttempts = 2
+
+	// ReceptacleTTL is the *inactivity* bound on an incoming migration
+	// receptacle that never assumed its final identity: if no state writes
+	// (page runs, kernel state) arrive for this long, the source is
+	// presumed dead mid-copy and the frozen placeholder is destroyed so it
+	// cannot pin memory forever. A slow but live transfer keeps re-arming
+	// the reaper with every arriving page run.
 	ReceptacleTTL = 30 * time.Second
 )
 

@@ -71,11 +71,16 @@ const (
 const CodeMoved uint16 = 100
 
 // InitReq describes an incoming migration (§3.1.1): the target initializes
-// descriptors for the new copy under a different logical-host id.
+// descriptors for the new copy under a different logical-host id. SrcLH is
+// the source's system logical host, which the destination's orphan-adoption
+// watchdog probes before unfreezing an apparently abandoned copy — source
+// *death* must be distinguished from source *unreachability* or the two
+// hosts can end up running the same logical host (split-brain).
 type InitReq struct {
 	Name    string
 	Guest   bool
 	FinalLH vid.LHID
+	SrcLH   vid.LHID
 	Spaces  []kernel.SpaceDesc
 }
 
@@ -117,7 +122,8 @@ type progInfo struct {
 	lh       *kernel.LogicalHost
 	name     string
 	guest    bool
-	incoming bool // migration receptacle, not yet assumed
+	incoming bool     // migration receptacle, not yet assumed
+	srcLH    vid.LHID // migration source's system LH (incoming only)
 	waiters  []*ipc.Req
 }
 
@@ -134,8 +140,19 @@ type PM struct {
 	exits    []*kernel.LogicalHost
 	migrateQ []*migrateJob
 	worker   *kernel.Process
+	adoptQ   []*adoptJob
+	adopter  *kernel.Process
 
 	fsPID vid.PID // cached file-server pid
+}
+
+// adoptJob is one orphan-adoption candidate: an incoming copy that assumed
+// its final identity but whose source has not finished the hand-over.
+type adoptJob struct {
+	final  vid.LHID
+	lh     *kernel.LogicalHost
+	srcLH  vid.LHID
+	silent int // consecutive probes of the source that went unanswered
 }
 
 type migrateJob struct {
@@ -158,6 +175,7 @@ func Start(h *kernel.Host) *PM {
 	h.OnLHIDChanged = pm.onLHIDChanged
 	pm.reaper = h.SpawnServer("pm-reaper", 4096, pm.reap)
 	pm.worker = h.SpawnServer("pm-migrate", 16*1024, pm.migrateLoop)
+	pm.adopter = h.SpawnServer("pm-adopt", 8*1024, pm.adoptLoop)
 	return pm
 }
 
@@ -185,6 +203,16 @@ func (pm *PM) onLHEmpty(lh *kernel.LogicalHost) {
 	pm.exits = append(pm.exits, lh)
 }
 
+// replyAsPM answers a request that arrived on the program manager's own
+// service port from a worker process's context. Workers must NOT reply on
+// their own ports (ctx.Reply): the reply would leave the PM port's open
+// entry and reply cache untouched, so if the one reply packet is lost the
+// waiter's retransmissions keep hitting the PM port, are answered with
+// reply-pending forever, and the transaction never completes.
+func (pm *PM) replyAsPM(ctx *kernel.ProcCtx, r *ipc.Req, msg vid.Message) {
+	pm.proc.Port().Reply(ctx.Task(), r, msg)
+}
+
 func (pm *PM) reap(ctx *kernel.ProcCtx) {
 	for {
 		if len(pm.exits) == 0 {
@@ -201,7 +229,7 @@ func (pm *PM) reap(ctx *kernel.ProcCtx) {
 		if pi != nil {
 			delete(pm.progs, lh.ID())
 			for _, w := range pi.waiters {
-				ctx.Reply(w, vid.Message{Op: PmWaitProgram, W: [6]uint32{code}})
+				pm.replyAsPM(ctx, w, vid.Message{Op: PmWaitProgram, W: [6]uint32{code}})
 			}
 		}
 	}
@@ -250,7 +278,7 @@ func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
 			delete(pm.progs, job.lhid)
 			pm.exited[job.lhid] = 0xDEAD
 			for _, w := range pi.waiters {
-				ctx.Reply(w, vid.Message{Op: PmWaitProgram, W: [6]uint32{0xDEAD}})
+				pm.replyAsPM(ctx, w, vid.Message{Op: PmWaitProgram, W: [6]uint32{0xDEAD}})
 			}
 			return vid.Message{Op: PmMigrateProgram, W: [6]uint32{1}}
 		}
@@ -265,7 +293,7 @@ func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
 	// bookkeeping and redirect waiters.
 	delete(pm.progs, job.lhid)
 	for _, w := range pi.waiters {
-		ctx.Reply(w, vid.Message{Op: PmWaitProgram, Code: CodeMoved, W: [6]uint32{0, uint32(newPM)}})
+		pm.replyAsPM(ctx, w, vid.Message{Op: PmWaitProgram, Code: CodeMoved, W: [6]uint32{0, uint32(newPM)}})
 	}
 	return vid.Message{Op: PmMigrateProgram, Seg: report}
 }
@@ -531,9 +559,12 @@ func (pm *PM) initMigration(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 		}
 	}
 	pm.host.Freeze(lh)
-	pm.progs[req.FinalLH] = &progInfo{lh: lh, name: req.Name, guest: req.Guest, incoming: true}
+	pm.progs[req.FinalLH] = &progInfo{
+		lh: lh, name: req.Name, guest: req.Guest, incoming: true, srcLH: req.SrcLH,
+	}
 	// A receptacle whose source dies mid-copy never assumes its final
-	// identity; garbage-collect it so it cannot pin memory forever.
+	// identity; garbage-collect it once the transfer goes idle so it
+	// cannot pin memory forever.
 	tempID := lh.ID()
 	pm.host.Eng.After(params.ReceptacleTTL, func() {
 		pm.reapReceptacle(req.FinalLH, tempID)
@@ -544,7 +575,11 @@ func (pm *PM) initMigration(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 }
 
 // reapReceptacle destroys an incoming receptacle that never assumed its
-// final identity within ReceptacleTTL (the source died before the swap).
+// final identity and whose transfer has gone idle for ReceptacleTTL (the
+// source died before the swap). The TTL is an *inactivity* timeout: while
+// page runs are still arriving — a legitimately slow copy under heavy loss
+// and retransmission — the reaper re-arms instead of killing a live
+// migration mid-transfer.
 func (pm *PM) reapReceptacle(final, tempID vid.LHID) {
 	if pm.host.Crashed() {
 		return
@@ -556,6 +591,12 @@ func (pm *PM) reapReceptacle(final, tempID vid.LHID) {
 	if cur, ok := pm.host.LookupLH(tempID); !ok || cur != pi.lh {
 		return
 	}
+	if idle := pm.host.Eng.Now().Sub(pi.lh.LastWriteAt()); idle < params.ReceptacleTTL {
+		pm.host.Eng.After(params.ReceptacleTTL-idle, func() {
+			pm.reapReceptacle(final, tempID)
+		})
+		return
+	}
 	pm.host.DestroyLH(pi.lh)
 	delete(pm.progs, final)
 }
@@ -565,45 +606,116 @@ func (pm *PM) reapReceptacle(final, tempID vid.LHID) {
 // from here on the new copy owns the identity, so if the source dies
 // before sending its unfreeze/assume messages, the destination must
 // finish the hand-over itself (source death after the swap leaves the new
-// copy authoritative, §3.1.3).
+// copy authoritative, §3.1.3). Adoption is handed to the pm-adopt worker,
+// which first *probes* the source: a source that is alive but slow or
+// unreachable must keep the original authoritative.
 func (pm *PM) onLHIDChanged(lh *kernel.LogicalHost, old vid.LHID) {
 	pi := pm.progs[lh.ID()]
 	if pi == nil || !pi.incoming || pi.lh != lh {
 		return
 	}
-	final := lh.ID()
-	pm.host.Eng.After(params.OrphanAdoptDelay, func() { pm.adoptOrphan(final, lh) })
+	job := &adoptJob{final: lh.ID(), lh: lh, srcLH: pi.srcLH}
+	pm.host.Eng.After(params.OrphanAdoptDelay, func() { pm.adoptQ = append(pm.adoptQ, job) })
 }
 
-// adoptOrphan fires OrphanAdoptDelay after the LHID swap: in the normal
-// case the source has long since unfrozen the copy and sent
-// PmAssumeMigration (making this a no-op); if the program is still an
-// unclaimed frozen receptacle, the source died after the swap and the
-// destination unfreezes the authoritative new copy itself, broadcasting
-// its binding so peers rebind.
-func (pm *PM) adoptOrphan(final vid.LHID, lh *kernel.LogicalHost) {
-	if pm.host.Crashed() {
+// adoptLoop is the pm-adopt worker: it serializes orphan-adoption checks,
+// each of which may block in a liveness probe of the migration source.
+func (pm *PM) adoptLoop(ctx *kernel.ProcCtx) {
+	for {
+		if len(pm.adoptQ) == 0 {
+			ctx.Sleep(pollInterval)
+			continue
+		}
+		job := pm.adoptQ[0]
+		pm.adoptQ = pm.adoptQ[1:]
+		pm.checkOrphan(ctx, job)
+	}
+}
+
+// checkOrphan decides the fate of a post-swap copy whose source has not
+// finished the hand-over. In the normal case the source has long since
+// unfrozen the copy and sent PmAssumeMigration, making this a no-op.
+// Otherwise the copy owns the identity but is still frozen, and the
+// destination must distinguish source *death* (adopt: the new copy is
+// authoritative, §3.1.3) from source *unreachability* (hold off: the live
+// source will abort its ~5 s send and unfreeze the original, and adopting
+// too would run the same logical host twice). It probes the source kernel
+// for the migrated LHID:
+//
+//   - source answers "resident, frozen": hand-over still in flight — check
+//     again later;
+//   - source answers "resident, unfrozen": the source aborted and the
+//     original is authoritative — discard the local copy;
+//   - source answers "not resident": the source finished (its unfreeze or
+//     assume messages were lost) or rebooted (the original died with it) —
+//     adopt;
+//   - no answer for OrphanProbeAttempts consecutive send aborts (≈10 s of
+//     silence, comfortably beyond the source's own ~5 s abort): presume the
+//     source dead — adopt.
+func (pm *PM) checkOrphan(ctx *kernel.ProcCtx, job *adoptJob) {
+	live := func() bool {
+		pi := pm.progs[job.final]
+		if pi == nil || !pi.incoming || pi.lh != job.lh {
+			return false // assumed or torn down meanwhile
+		}
+		cur, ok := pm.host.LookupLH(job.final)
+		return ok && cur == job.lh
+	}
+	if !live() {
 		return
 	}
-	pi := pm.progs[final]
-	if pi == nil || !pi.incoming || pi.lh != lh {
-		return
+	if job.srcLH != 0 {
+		m, err := ctx.Send(kernel.KernelServerPID(job.srcLH), vid.Message{
+			Op: kernel.KsQueryLH, W: [6]uint32{uint32(job.final)},
+		})
+		if !live() { // the probe blocked; the hand-over may have finished
+			return
+		}
+		switch {
+		case err == nil && m.OK() && m.W[3] != 0:
+			// Original still frozen at the source: migration in flight.
+			job.silent = 0
+			pm.host.Eng.After(params.OrphanAdoptDelay, func() {
+				pm.adoptQ = append(pm.adoptQ, job)
+			})
+			return
+		case err == nil && m.OK():
+			// Original resident and running: the source aborted the
+			// migration after the swap; defer to it and discard the copy.
+			pm.host.DestroyLH(job.lh)
+			delete(pm.progs, job.final)
+			return
+		case err != nil:
+			job.silent++
+			if job.silent < params.OrphanProbeAttempts {
+				pm.adoptQ = append(pm.adoptQ, job) // re-probe: each pass is a full abort of silence
+				return
+			}
+			// Prolonged silence: presume the source dead and adopt.
+		default:
+			// Source alive, original gone: the hand-over completed — adopt.
+		}
 	}
-	if cur, ok := pm.host.LookupLH(final); !ok || cur != lh {
-		return
-	}
+	pi := pm.progs[job.final]
 	pi.incoming = false
-	if lh.Frozen() {
-		pm.host.Unfreeze(lh, true)
+	if job.lh.Frozen() {
+		pm.host.Unfreeze(job.lh, true)
 	}
 }
 
 // AssumeIncoming finalizes an incoming migration: the placeholder has been
 // relabeled with the final LHID (by the kernel's ChangeLHID); mark the
-// program as owned.
+// program as owned. If the copy is still frozen — the source's direct
+// unfreeze was lost but its assume notice got through — finish the
+// unfreeze here, broadcasting the binding.
 func (pm *PM) AssumeIncoming(final vid.LHID) {
-	if pi := pm.progs[final]; pi != nil {
-		pi.incoming = false
+	pi := pm.progs[final]
+	if pi == nil {
+		return
+	}
+	pi.incoming = false
+	if pi.lh.ID() == final && pi.lh.Frozen() {
+		pm.host.Unfreeze(pi.lh, true)
 	}
 }
 

@@ -8,7 +8,11 @@ import (
 	"vsystem/internal/ethernet"
 	"vsystem/internal/fileserver"
 	"vsystem/internal/kernel"
+	"vsystem/internal/mem"
+	"vsystem/internal/packet"
+	"vsystem/internal/params"
 	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 	"vsystem/internal/workload"
 )
@@ -280,5 +284,111 @@ func TestMigrateWithoutMigratorRefused(t *testing.T) {
 	r.eng.RunFor(time.Minute)
 	if code != vid.CodeRefused {
 		t.Fatalf("code = %d, want refused", code)
+	}
+}
+
+// TestReceptacleReapIsInactivityBased: the receptacle TTL is an inactivity
+// timeout, not a deadline on the whole transfer. A slow but live copy —
+// one page run every 20 s, well under the 30 s TTL — must keep the frozen
+// placeholder alive past 30 s (a fixed TTL would reap it mid-transfer),
+// while a receptacle whose writes stop is reaped once the TTL of idleness
+// elapses.
+func TestReceptacleReapIsInactivityBased(t *testing.T) {
+	r := newRig(t, 2, 11)
+	page := make([]byte, params.PageSize)
+	var initErr, writeErr error
+	var tempLH vid.LHID
+	r.agent(0, func(ctx *kernel.ProcCtx) {
+		req := &InitReq{
+			Name: "slowcopy", Guest: true, FinalLH: 0x0155,
+			SrcLH:  r.ws[0].SystemLH().ID(),
+			Spaces: []kernel.SpaceDesc{{ID: 1, Size: 32 * 1024}},
+		}
+		m, err := ctx.Send(r.pms[1].PID(), vid.Message{Op: PmInitMigration, Seg: EncodeInitReq(req)})
+		if err != nil || !m.OK() {
+			initErr = err
+			return
+		}
+		tempLH = vid.LHID(m.W[0])
+		targetKS := kernel.KernelServerPID(vid.LHID(m.W[1]))
+		// Last write lands at t≈60 s; the receptacle then goes idle and
+		// must be reaped at t≈90 s.
+		for i := 0; i < 3; i++ {
+			ctx.Sleep(20 * time.Second)
+			run := kernel.EncodePageRun(1, []mem.PageNo{mem.PageNo(i)}, [][]byte{page})
+			wm, err := ctx.Send(targetKS, vid.Message{
+				Op: kernel.KsWritePages, W: [6]uint32{uint32(tempLH)}, Seg: run,
+			})
+			if writeErr == nil && (err != nil || !wm.OK()) {
+				writeErr = vid.CodeError(wm.Code)
+				if err != nil {
+					writeErr = err
+				}
+			}
+		}
+	})
+	var aliveAt70, goneAt95 bool
+	r.eng.After(70*time.Second, func() {
+		_, aliveAt70 = r.ws[1].LookupLH(tempLH)
+	})
+	r.eng.After(95*time.Second, func() {
+		_, stillThere := r.ws[1].LookupLH(tempLH)
+		goneAt95 = !stillThere
+	})
+	r.eng.RunFor(100 * time.Second)
+	if initErr != nil || writeErr != nil {
+		t.Fatalf("init=%v write=%v", initErr, writeErr)
+	}
+	if !aliveAt70 {
+		t.Fatal("receptacle reaped while page runs were still arriving")
+	}
+	if !goneAt95 {
+		t.Fatal("idle receptacle never reaped")
+	}
+}
+
+// TestWaiterReplyComesFromPMPort: a deferred PmWaitProgram answer is sent
+// by the reaper worker, but it must be emitted from the program manager's
+// own service port — the one the request arrived on. A reply emitted from
+// the worker's port leaves the PM port's open-request entry and reply
+// cache untouched, so if that single reply packet is lost the waiter's
+// retransmissions are answered with reply-pending forever and the wait
+// never completes.
+func TestWaiterReplyComesFromPMPort(t *testing.T) {
+	r := newRig(t, 2, 21)
+	tb := trace.NewBus()
+	for _, h := range r.ws {
+		h.AttachTrace(tb)
+	}
+	var replySrc vid.PID
+	tb.Subscribe(func(ev trace.Event) {
+		if ev.Pkt != nil && ev.Pkt.Kind == packet.KReply && ev.Pkt.Msg.Op == PmWaitProgram {
+			replySrc = ev.Pkt.Src
+		}
+	})
+	var waited bool
+	r.agent(0, func(ctx *kernel.ProcCtx) {
+		m, e := ctx.Send(r.pms[1].PID(), vid.Message{
+			Op: PmCreateProgram, W: [6]uint32{0, 1}, Seg: []byte("job"),
+		})
+		if e != nil || !m.OK() {
+			return
+		}
+		pid, lhid := vid.PID(m.W[0]), vid.LHID(m.W[1])
+		if sm, e := ctx.Send(kernel.KernelServerPID(lhid), vid.Message{
+			Op: kernel.KsStartProcess, W: [6]uint32{uint32(pid)},
+		}); e != nil || !sm.OK() {
+			return
+		}
+		if wm, e := ctx.Send(r.pms[1].PID(), vid.Message{Op: PmWaitProgram, W: [6]uint32{uint32(lhid)}}); e == nil && wm.OK() {
+			waited = true
+		}
+	})
+	r.eng.RunFor(time.Minute)
+	if !waited {
+		t.Fatal("wait did not complete")
+	}
+	if replySrc != r.pms[1].PID() {
+		t.Fatalf("wait reply emitted from %v, want the PM port %v", replySrc, r.pms[1].PID())
 	}
 }

@@ -50,3 +50,7 @@ func (q *Queue[T]) PopTimeout(t *Task, d time.Duration) (v T, ok bool) {
 
 // Len reports the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Clear discards every queued item. Consumers blocked in Pop stay blocked;
+// consumers that were already woken re-check emptiness before popping.
+func (q *Queue[T]) Clear() { q.items = nil }

@@ -347,23 +347,31 @@ func (m *machine) Run(ctx *kernel.ProcCtx) {
 			*gpr(d) = x
 			cost = 4
 		case SEND:
+			// The committed PC stays at the instruction until the charge
+			// below completes: a freeze can park the process mid-charge,
+			// and the migrated copy must then re-execute the SEND (nothing
+			// has been issued yet). PC and the pending flag advance only
+			// once nothing can park us before the transaction is recorded
+			// in the port, so a snapshot sees either "before the
+			// instruction, no send" or "after it, send in flight" — never
+			// a committed PC with the send silently dropped.
 			blk := *gpr(reg())
-			r.W[regPC] = pc // commit PC before blocking
 			ctx.Steps(pending + 20)
 			pending = 0
-			m.startSend(ctx, blk, rd32, fault)
+			r.W[regPC] = pc
 			r.W[regPending] = 1
 			r.W[regBlock] = blk
+			m.startSend(ctx, blk, rd32, fault)
 			completeIPC()
 			continue
 		case OUT:
 			a, l := reg(), reg()
 			addr, n := *gpr(a), *gpr(l)
-			r.W[regPC] = pc
-			ctx.Steps(pending + 20)
+			ctx.Steps(pending + 20) // PC still at the OUT; see SEND
 			pending = 0
-			m.startOut(ctx, addr, n, fault)
+			r.W[regPC] = pc
 			r.W[regPending] = 2
+			m.startOut(ctx, addr, n, fault)
 			completeIPC()
 			continue
 		default:
