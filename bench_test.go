@@ -86,6 +86,11 @@ func BenchmarkUsage(b *testing.B) { reportAll(b, experiments.Usage) }
 // stays flat from 5 to 25 workstations.
 func BenchmarkSelectionScaling(b *testing.B) { reportAll(b, experiments.SelectionScaling) }
 
+// BenchmarkSelectionPolicies regenerates E9: under skewed load, the
+// least-loaded policy over the cached cluster view tightens the
+// completion-time spread that first-response serialization produces.
+func BenchmarkSelectionPolicies(b *testing.B) { reportAll(b, experiments.SelectionPolicies) }
+
 // BenchmarkMigrationUnderLoss regenerates A4: migrations complete with
 // gracefully degrading freeze times at 0-10% frame loss.
 func BenchmarkMigrationUnderLoss(b *testing.B) { reportAll(b, experiments.MigrationUnderLoss) }

@@ -24,7 +24,8 @@
 //	trace on|off               stream trace-bus events (packet, freeze,
 //	                           rebind, loss) as the simulation advances
 //	loss <p>                   set the Ethernet frame-loss probability
-//	hosts                      list workstations
+//	hosts                      list workstations: advertised load plus each
+//	                           host's selection-cache contents and age
 //	time                       print the virtual clock
 //	quit
 //
@@ -50,6 +51,7 @@ import (
 	"vsystem/internal/core"
 	"vsystem/internal/nameserver"
 	"vsystem/internal/progs"
+	"vsystem/internal/sched"
 	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 	"vsystem/internal/workload"
@@ -61,8 +63,15 @@ func main() {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		loss   = flag.Float64("loss", 0, "Ethernet frame loss probability")
 		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush")
+		sel    = flag.String("select", "first", "host-selection policy: first|random|least")
 	)
 	flag.Parse()
+
+	selPol := sched.PolicyByName(*sel)
+	if selPol == nil {
+		fmt.Fprintln(os.Stderr, "vcluster: unknown selection policy", *sel)
+		os.Exit(2)
+	}
 
 	pol := core.PolicyPrecopy
 	switch *policy {
@@ -76,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := newRepl(core.Options{Workstations: *n, Seed: *seed, LossRate: *loss, Policy: pol}, os.Stdout)
+	r := newRepl(core.Options{Workstations: *n, Seed: *seed, LossRate: *loss, Policy: pol, Select: selPol}, os.Stdout)
 	r.loop(os.Stdin)
 }
 
@@ -198,8 +207,25 @@ func (r *repl) exec(line string) bool {
 			}
 			if n.Host.Crashed() {
 				state = "crashed"
+				r.printf("%-6s %-7s", n.Name(), state)
+				continue
 			}
-			r.printf("%-6s %-7s %5d KB free", n.Name(), state, n.Host.MemFree()/1024)
+			l := sched.LoadFromWords(n.Host.LoadWords())
+			r.printf("%-6s %-7s %5d KB free  ready=%d residents=%d util=%d‰  policy=%s",
+				n.Name(), state, n.Host.MemFree()/1024,
+				l.Ready, l.Residents, l.UtilPermille, n.Selector.Policy.Name())
+			for _, e := range n.Selector.Cache.Entries() {
+				tag := ""
+				if e.Neg {
+					tag = " NEG"
+				}
+				if e.Bumps > 0 {
+					tag += fmt.Sprintf(" +%d placed", e.Bumps)
+				}
+				r.printf("         cache %v ready=%d free=%dK age=%v%s",
+					e.Load.SystemLH, e.Load.Ready, e.Load.MemFree/1024,
+					e.Age.Round(time.Millisecond), tag)
+			}
 		}
 
 	case "advance":

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"vsystem/internal/display"
@@ -17,7 +18,9 @@ import (
 	"vsystem/internal/image"
 	"vsystem/internal/kernel"
 	"vsystem/internal/nameserver"
+	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/sched"
 	"vsystem/internal/sim"
 	"vsystem/internal/trace"
 	"vsystem/internal/vid"
@@ -35,6 +38,11 @@ type Options struct {
 	// Policy selects the migration policy for all program managers.
 	// Default PolicyPrecopy.
 	Policy Policy
+	// Select is the host-selection policy used by every workstation's
+	// scheduling selector (`@ *` execution and migration destinations).
+	// Default sched.FirstResponse — the paper's baseline. Load-aware
+	// policies additionally turn on the periodic load beacon.
+	Select sched.Policy
 }
 
 // Cluster is a simulated V installation: workstations plus a server
@@ -68,9 +76,14 @@ type installedImage struct {
 
 // Node is one workstation: kernel, program manager, display server.
 type Node struct {
-	Host     *kernel.Host
-	PM       *progmgr.PM
-	Display  *display.Server
+	Host    *kernel.Host
+	PM      *progmgr.PM
+	Display *display.Server
+	// Selector runs host selection for this workstation: the configured
+	// policy over the node's cached cluster-load view. It survives
+	// crash/restart cycles (the cache is invalidated through fault
+	// events, not destroyed).
+	Selector *sched.Selector
 	cluster  *Cluster
 	pagerSeq uint16
 }
@@ -105,19 +118,56 @@ func NewCluster(opt Options) *Cluster {
 			{Name: "busy_ms", Value: bs.BusyTime.Seconds() * 1000},
 		}
 	})
+	selPolicy := opt.Select
+	if selPolicy == nil {
+		selPolicy = sched.FirstResponse{}
+	}
+	// Load dissemination: every kernel stamps its replies with a load
+	// advertisement (piggybacking costs no extra frames); the broadcast
+	// beacon runs only for load-aware policies, so the paper-baseline
+	// first-response configuration puts nothing extra on the wire.
+	beacon := time.Duration(0)
+	if selPolicy.LoadAware() {
+		beacon = params.LoadBeaconInterval
+	}
 	for i := 0; i < opt.Workstations; i++ {
 		h := kernel.NewHost(eng, bus, i, fmt.Sprintf("ws%d", i))
 		h.AttachTrace(tb)
 		registerHostMetrics(tb, h)
 		n := &Node{Host: h, cluster: c}
 		n.PM = progmgr.Start(h)
-		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c, FaultHook: c.Fault.OnPhase}
+		cache := sched.NewCache(eng.Now)
+		n.Selector = sched.NewSelector(selPolicy, cache,
+			vid.GroupProgramManagers, progmgr.PmSelectHost,
+			uint16(h.NIC.MAC()), tb,
+			rand.New(rand.NewSource(opt.Seed+int64(i+1)*7919)))
+		h.IPC.SetLoadSink(cache.Observe)
+		h.EnableLoadAds(beacon)
+		tb.RegisterSource("sched/"+h.Name, n.Selector.Metrics)
+		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c, FaultHook: c.Fault.OnPhase, Selector: n.Selector}
 		n.Display = display.Start(h)
 		c.Nodes = append(c.Nodes, n)
 		c.Fault.RegisterHost(h.NIC.MAC(), h.Crash, n.Restart)
 	}
+	// Selection caches react to injected faults: a crash drops (and
+	// negatively caches) the dead host's entries everywhere; partitions
+	// and heals flush every cache — any cached view may be stale on
+	// either side of the cut.
+	tb.Subscribe(func(ev trace.Event) {
+		switch ev.Kind {
+		case trace.EvHostCrash:
+			for _, n := range c.Nodes {
+				n.Selector.Cache.DropHost(ev.Host)
+			}
+		case trace.EvPartition, trace.EvHeal:
+			for _, n := range c.Nodes {
+				n.Selector.Cache.Flush()
+			}
+		}
+	})
 	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
 	c.FSHost.AttachTrace(tb)
+	c.FSHost.EnableLoadAds(0)
 	registerHostMetrics(tb, c.FSHost)
 	c.FS = fileserver.Start(c.FSHost)
 	c.NS = nameserver.Start(c.FSHost)
@@ -173,7 +223,7 @@ func (n *Node) Restart() {
 	c := n.cluster
 	n.Host.Restart()
 	n.PM = progmgr.Start(n.Host)
-	n.PM.Migrator = &Migrator{Policy: c.policy, Cluster: c, FaultHook: c.Fault.OnPhase}
+	n.PM.Migrator = &Migrator{Policy: c.policy, Cluster: c, FaultHook: c.Fault.OnPhase, Selector: n.Selector}
 	n.Display = display.Start(n.Host)
 	nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
 	nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())

@@ -25,6 +25,16 @@ func (s HostSel) MAC() uint16 { return uint16(s.SystemLH >> 8) }
 // ErrNoHost means no workstation answered a selection query.
 var ErrNoHost = errors.New("core: no host available")
 
+// SelectVia routes a host-selection query through the node's scheduling
+// selector (policy + cached load view) and adapts the result.
+func (n *Node) SelectVia(ctx *kernel.ProcCtx, minMem uint32, exclude ...vid.LHID) (HostSel, error) {
+	l, err := n.Selector.Select(ctx, minMem, exclude...)
+	if err != nil {
+		return HostSel{}, ErrNoHost
+	}
+	return HostSel{PM: l.PM, SystemLH: l.SystemLH, MemFree: l.MemFree}, nil
+}
+
 // SelectHost picks an idle workstation by multicasting to the
 // program-manager group and taking the first response — the paper's
 // decentralized scheduler ("it simply selects the program manager that
@@ -104,7 +114,7 @@ func (a *Agent) Exec(prog string, args []string, where string) (*Job, error) {
 	case "*":
 		// "some other lightly loaded machine" (§4.3): exclude the home
 		// workstation.
-		sel, err = SelectHost(ctx, ExecMinMem, a.node.Host.SystemLH().ID())
+		sel, err = a.node.SelectVia(ctx, ExecMinMem, a.node.Host.SystemLH().ID())
 	default:
 		sel, err = FindHost(ctx, where)
 	}
@@ -252,9 +262,10 @@ func MinMemFor(spaceSize uint32) uint32 {
 	return spaceSize
 }
 
-// Select performs one decentralized host-selection query (experiments).
+// Select performs one decentralized host-selection query (experiments),
+// through the node's configured selection policy.
 func (a *Agent) Select(minMem uint32) (HostSel, error) {
-	return SelectHost(a.ctx, minMem, a.node.Host.SystemLH().ID())
+	return a.node.SelectVia(a.ctx, minMem, a.node.Host.SystemLH().ID())
 }
 
 // CreateProgram sets up an execution environment on the selected host

@@ -13,6 +13,7 @@ import (
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/sched"
 	"vsystem/internal/sim"
 	"vsystem/internal/trace"
 	"vsystem/internal/vid"
@@ -153,6 +154,11 @@ type Migrator struct {
 	Policy  Policy
 	Cluster *Cluster
 
+	// Selector, when set, chooses migration destinations through the
+	// node's scheduling policy and cached load view; nil falls back to
+	// the baseline first-response SelectHost.
+	Selector *sched.Selector
+
 	// FaultHook, when set, is called at each phase boundary of an
 	// in-flight migration so a fault injector can crash a participant at
 	// a precise point (fault.Injector.OnPhase is the standard hook).
@@ -171,6 +177,19 @@ type Migrator struct {
 }
 
 var _ progmgr.Migrator = (*Migrator)(nil)
+
+// selectDest picks a migration destination through the configured
+// scheduling selector (or the baseline protocol when none is wired).
+func (mg *Migrator) selectDest(ctx *kernel.ProcCtx, minMem uint32, exclude ...vid.LHID) (HostSel, error) {
+	if mg.Selector == nil {
+		return SelectHost(ctx, minMem, exclude...)
+	}
+	l, err := mg.Selector.Select(ctx, minMem, exclude...)
+	if err != nil {
+		return HostSel{}, ErrNoHost
+	}
+	return HostSel{PM: l.PM, SystemLH: l.SystemLH, MemFree: l.MemFree}, nil
+}
 
 // span publishes a completed migration phase to the cluster's trace bus.
 func (mg *Migrator) span(s trace.Span) {
@@ -244,7 +263,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 
 	// 1. Locate a new host, excluding ourselves and destinations that
 	// already failed this migration.
-	sel, err := SelectHost(ctx, lh.MemUsed()+64*1024,
+	sel, err := mg.selectDest(ctx, lh.MemUsed()+64*1024,
 		append([]vid.LHID{host.SystemLH().ID()}, excludes...)...)
 	if err != nil {
 		return nil, &PhaseError{Phase: trace.PhaseSelect, Err: err}

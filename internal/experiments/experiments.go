@@ -92,6 +92,7 @@ func All(seed int64) []*Result {
 		AblationResidual(seed),
 		Usage(seed),
 		SelectionScaling(seed),
+		SelectionPolicies(seed),
 		MigrationUnderLoss(seed),
 		PrecopyRounds(seed),
 		FaultSweep(seed),
@@ -113,6 +114,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"ablation-residual": AblationResidual,
 		"usage":             Usage,
 		"selection-scale":   SelectionScaling,
+		"select-policy":     SelectionPolicies,
 		"migration-loss":    MigrationUnderLoss,
 		"precopy-rounds":    PrecopyRounds,
 		"fault-sweep":       FaultSweep,
@@ -126,8 +128,8 @@ func Names() []string {
 	return []string{
 		"remote-exec", "copy-costs", "dirty-rates", "precopy", "overheads",
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
-		"ablation-residual", "usage", "selection-scale", "migration-loss",
-		"precopy-rounds", "fault-sweep",
+		"ablation-residual", "usage", "selection-scale", "select-policy",
+		"migration-loss", "precopy-rounds", "fault-sweep",
 	}
 }
 

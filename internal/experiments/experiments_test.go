@@ -26,6 +26,7 @@ func TestA1AblationFreeze(t *testing.T)       { runExp(t, AblationFreeze) }
 func TestA2AblationResidual(t *testing.T)     { runExp(t, AblationResidual) }
 func TestA3Usage(t *testing.T)                { runExp(t, Usage) }
 func TestE8SelectionScaling(t *testing.T)     { runExp(t, SelectionScaling) }
+func TestE9SelectionPolicies(t *testing.T)    { runExp(t, SelectionPolicies) }
 func TestA4MigrationUnderLoss(t *testing.T)   { runExp(t, MigrationUnderLoss) }
 func TestA5PrecopyRounds(t *testing.T)        { runExp(t, PrecopyRounds) }
 

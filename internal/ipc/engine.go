@@ -71,6 +71,15 @@ type Stats struct {
 	DroppedFrozen    int64
 	DroppedStale     int64
 	LocalDeliveries  int64
+
+	// Binding-cache activity (§3.1.4). Hits and misses count route
+	// lookups; invalidations count explicit discards (retransmission
+	// overrun, experiments); evictions count LRU displacement at
+	// params.BindingCacheCap.
+	BindingHits          int64
+	BindingMisses        int64
+	BindingInvalidations int64
+	BindingEvictions     int64
 }
 
 // Engine is the per-host IPC engine.
@@ -81,14 +90,17 @@ type Engine struct {
 	res      Resolver
 	ports    map[vid.PID]*Port
 	portList []*Port // registration order, for deterministic iteration
-	cache    map[vid.LHID]ethernet.MAC
+	cache    map[vid.LHID]*bindEntry
+	cacheSeq uint64 // recency clock for LRU eviction
 	jobs     sim.Queue[job]
 	reasm    map[reasmKey]*reasmBuf
 	txBuf    map[reasmKey]*fragSource
 	forward  map[vid.LHID]ethernet.MAC
 	stats    Stats
-	trace    *trace.Bus // nil until wired; nil bus is a no-op target
-	down     bool       // crashed host: frames drop, queued work is discarded
+	trace    *trace.Bus       // nil until wired; nil bus is a no-op target
+	down     bool             // crashed host: frames drop, queued work is discarded
+	loadFn   func() [6]uint32 // kernel's load advertisement, stamped on replies
+	loadSink func([6]uint32)  // consumer of received load advertisements
 
 	// NoRebind disables the logical-host rebinding machinery (cache
 	// invalidation after unanswered retransmissions): the Demos/MP
@@ -112,6 +124,13 @@ type job struct {
 type outJob struct {
 	pkt *packet.Packet
 	dst ethernet.MAC
+}
+
+// bindEntry is one logical-host→station binding with its LRU recency
+// stamp (unique per touch, so eviction has a single deterministic victim).
+type bindEntry struct {
+	mac  ethernet.MAC
+	used uint64
 }
 
 type reasmKey struct {
@@ -139,7 +158,7 @@ func New(se *sim.Engine, nic *ethernet.NIC, c *cpu.CPU, res Resolver) *Engine {
 		cpu:              c,
 		res:              res,
 		ports:            make(map[vid.PID]*Port),
-		cache:            make(map[vid.LHID]ethernet.MAC),
+		cache:            make(map[vid.LHID]*bindEntry),
 		reasm:            make(map[reasmKey]*reasmBuf),
 		txBuf:            make(map[reasmKey]*fragSource),
 		forward:          make(map[vid.LHID]ethernet.MAC),
@@ -174,7 +193,7 @@ func (e *Engine) Down() bool { return e.down }
 func (e *Engine) Reset() {
 	e.down = false
 	e.jobs.Clear()
-	e.cache = make(map[vid.LHID]ethernet.MAC)
+	e.cache = make(map[vid.LHID]*bindEntry)
 	e.reasm = make(map[reasmKey]*reasmBuf)
 	e.txBuf = make(map[reasmKey]*fragSource)
 	e.forward = make(map[vid.LHID]ethernet.MAC)
@@ -205,13 +224,71 @@ func (e *Engine) publish(kind trace.Kind, p *packet.Packet) {
 }
 
 // CacheLookup exposes the logical-host cache (for tests and experiments).
+// It does not touch recency or the hit/miss counters.
 func (e *Engine) CacheLookup(lh vid.LHID) (ethernet.MAC, bool) {
-	m, ok := e.cache[lh]
-	return m, ok
+	if be, ok := e.cache[lh]; ok {
+		return be.mac, true
+	}
+	return 0, false
 }
 
-// InvalidateCache drops a binding (used by experiments to force a locate).
-func (e *Engine) InvalidateCache(lh vid.LHID) { delete(e.cache, lh) }
+// CacheLen reports how many bindings are cached.
+func (e *Engine) CacheLen() int { return len(e.cache) }
+
+// cacheInsert records (or refreshes) a binding, evicting the least
+// recently used entry when the cache is at capacity.
+func (e *Engine) cacheInsert(lh vid.LHID, mac ethernet.MAC) {
+	e.cacheSeq++
+	if be := e.cache[lh]; be != nil {
+		be.mac = mac
+		be.used = e.cacheSeq
+		return
+	}
+	if len(e.cache) >= params.BindingCacheCap {
+		var victim vid.LHID
+		oldest := uint64(1<<64 - 1)
+		for l, be := range e.cache {
+			if be.used < oldest {
+				oldest, victim = be.used, l
+			}
+		}
+		delete(e.cache, victim)
+		e.stats.BindingEvictions++
+	}
+	e.cache[lh] = &bindEntry{mac: mac, used: e.cacheSeq}
+}
+
+// InvalidateCache drops a binding — after unanswered retransmissions
+// (§3.1.4) or from experiments forcing a locate. Counted and traced only
+// when a binding was actually present.
+func (e *Engine) InvalidateCache(lh vid.LHID) {
+	if _, ok := e.cache[lh]; !ok {
+		return
+	}
+	delete(e.cache, lh)
+	e.stats.BindingInvalidations++
+	e.trace.Publish(trace.Event{
+		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvBindInvalidate, LH: lh,
+	})
+}
+
+// SetLoadFunc installs the kernel's load-advertisement source. When set,
+// every outgoing (inter-host) reply is stamped with a fresh advertisement
+// — load information piggybacks on traffic the host sends anyway.
+func (e *Engine) SetLoadFunc(fn func() [6]uint32) { e.loadFn = fn }
+
+// SetLoadSink installs the consumer of load advertisements received from
+// other hosts (the scheduling layer's candidate cache).
+func (e *Engine) SetLoadSink(fn func([6]uint32)) { e.loadSink = fn }
+
+// BroadcastLoad emits one load-advertisement beacon frame. A no-op until
+// SetLoadFunc is wired or while the host is down.
+func (e *Engine) BroadcastLoad() {
+	if e.loadFn == nil || e.down {
+		return
+	}
+	e.emit(&packet.Packet{Kind: packet.KLoadAd, Ad: e.loadFn(), HasAd: true}, ethernet.Broadcast)
+}
 
 // BroadcastBinding announces that a logical host now resides on this host —
 // the §3.1.4 optimization performed when a migrated logical host is
@@ -274,6 +351,12 @@ func (e *Engine) sendNow(t *sim.Task, p *packet.Packet, dst ethernet.MAC) {
 // transmitFrame marshals p and puts it on the wire. If wait is true the
 // task blocks until the frame clears the medium (bulk pacing).
 func (e *Engine) transmitFrame(t *sim.Task, p *packet.Packet, dst ethernet.MAC, wait bool) {
+	if p.Kind == packet.KReply && e.loadFn != nil {
+		// Piggyback a fresh load advertisement on the reply (re-stamped on
+		// every retransmission, so receivers always see current load).
+		p.Ad = e.loadFn()
+		p.HasAd = true
+	}
 	e.stats.TxPackets++
 	e.stats.TxByKind[p.Kind]++
 	e.publish(trace.EvPktTx, p)
@@ -380,7 +463,10 @@ func (e *Engine) dispatch(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
 	// Learn bindings from incoming traffic (§3.1.4: "the cache is also
 	// updated based on incoming requests").
 	if from != e.nic.MAC() && p.Src != vid.Nil && !p.Src.IsGroup() && !e.res.LHResident(p.Src.LH()) {
-		e.cache[p.Src.LH()] = from
+		e.cacheInsert(p.Src.LH(), from)
+	}
+	if p.HasAd && from != e.nic.MAC() && e.loadSink != nil {
+		e.loadSink(p.Ad)
 	}
 	switch p.Kind {
 	case packet.KFrag:
@@ -406,11 +492,13 @@ func (e *Engine) dispatch(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
 			e.emit(&packet.Packet{Kind: packet.KLocateResp, LH: p.LH}, from)
 		}
 	case packet.KLocateResp:
-		e.cache[p.LH] = from
+		e.cacheInsert(p.LH, from)
 		e.retryWaiters(p.LH)
 	case packet.KBinding:
-		e.cache[p.LH] = from
+		e.cacheInsert(p.LH, from)
 		e.retryWaiters(p.LH)
+	case packet.KLoadAd:
+		// Advertisement already consumed by the sink above.
 	case packet.KFragNack:
 		// p.Src is the original packet's source (us); p.Dst the nacker.
 		e.resendFrags(t, reasmKey{src: p.Src, dst: p.Dst, txid: p.TxID, kind: p.OfKind}, p.Missing)
@@ -580,6 +668,12 @@ func (e *Engine) deliverReply(t *sim.Task, p *packet.Packet, from ethernet.MAC) 
 	if !e.completeSeg(p, from) {
 		return
 	}
+	if port.send.gather {
+		// Gathering send: accumulate this responder's reply (deduplicated
+		// by source) and keep collecting until the window closes.
+		port.addGatherReply(p.Src, p.Msg)
+		return
+	}
 	port.completeSend(p.Msg)
 }
 
@@ -615,9 +709,19 @@ func (e *Engine) route(dst vid.PID) (mac ethernet.MAC, local, ok bool) {
 	if e.res.LHResident(lh) {
 		return e.nic.MAC(), true, true
 	}
-	if m, hit := e.cache[lh]; hit {
-		return m, false, true
+	if be, hit := e.cache[lh]; hit {
+		e.cacheSeq++
+		be.used = e.cacheSeq
+		e.stats.BindingHits++
+		e.trace.Publish(trace.Event{
+			At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvBindHit, LH: lh,
+		})
+		return be.mac, false, true
 	}
+	e.stats.BindingMisses++
+	e.trace.Publish(trace.Event{
+		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvBindMiss, LH: lh,
+	})
 	e.stats.Locates++
 	e.trace.Publish(trace.Event{
 		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvLocate, LH: lh,

@@ -1,0 +1,260 @@
+package ipc
+
+import (
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// TestGatherCollectsAllReplies sends to a group in gather mode and checks
+// that every member's reply is collected, in arrival order — unlike the
+// plain group Send, where the first reply wins and the rest are discarded.
+func TestGatherCollectsAllReplies(t *testing.T) {
+	r := newRig(t, 4, 31)
+	group := vid.GroupProgramManagers
+	lhA := vid.LHID(10)
+	r.place(lhA, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	delays := []time.Duration{30 * time.Millisecond, 5 * time.Millisecond, 60 * time.Millisecond}
+	for i := 1; i < 4; i++ {
+		lh := vid.LHID(20 + i)
+		r.place(lh, i)
+		p := r.hosts[i].eng.NewPort(vid.NewPID(lh, 16))
+		r.hosts[i].groups[group] = []vid.PID{p.PID()}
+		d := delays[i-1]
+		id := uint32(i)
+		r.sim.Spawn("member", func(tk *sim.Task) {
+			for {
+				req := p.Receive(tk)
+				tk.Sleep(d)
+				m := req.Msg
+				m.W[0] = id
+				p.Reply(tk, req, m)
+			}
+		})
+	}
+	var rs []GatherReply
+	var err error
+	var elapsed time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		client.StartGather(tk, group, vid.Message{Op: testOp}, 200*time.Millisecond)
+		rs, err = client.AwaitGather(tk)
+		elapsed = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("AwaitGather: %v", err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("gathered %d replies, want 3", len(rs))
+	}
+	// Arrival order follows the members' response delays: 5, 30, 60 ms.
+	want := []uint32{2, 1, 3}
+	seen := map[vid.PID]bool{}
+	for i, gr := range rs {
+		if gr.Msg.W[0] != want[i] {
+			t.Errorf("reply %d from member %d, want member %d", i, gr.Msg.W[0], want[i])
+		}
+		if seen[gr.Src] {
+			t.Errorf("duplicate source %v in gather results", gr.Src)
+		}
+		seen[gr.Src] = true
+	}
+	// The window must run to completion even after all members answered.
+	if elapsed < 200*time.Millisecond {
+		t.Fatalf("gather closed after %v, before its 200 ms window", elapsed)
+	}
+}
+
+// TestGatherDedupsDuplicateReplies injects a second copy of a member's
+// reply mid-window (as a retransmission-prompted reply-cache resend would)
+// and checks the per-source dedup keeps only the first.
+func TestGatherDedupsDuplicateReplies(t *testing.T) {
+	r := newRig(t, 2, 32)
+	group := vid.GroupProgramManagers
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	r.hosts[1].groups[group] = []vid.PID{server.PID()}
+	echoServer(r.sim, server)
+
+	var rs []GatherReply
+	var err error
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		client.StartGather(tk, group, vid.Message{Op: testOp, W: [6]uint32{41}}, 200*time.Millisecond)
+		rs, err = client.AwaitGather(tk)
+	})
+	// Well inside the window, after the genuine reply has arrived.
+	r.sim.After(100*time.Millisecond, func() {
+		client.addGatherReply(server.PID(), vid.Message{Op: testOp, W: [6]uint32{99}})
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("AwaitGather: %v", err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("gathered %d replies, want 1 (duplicate not deduped)", len(rs))
+	}
+	if rs[0].Msg.W[0] != 42 {
+		t.Fatalf("kept reply W0 = %d, want the first arrival (42)", rs[0].Msg.W[0])
+	}
+}
+
+// TestGatherEmptyWindowTimesOut checks that a gather with no responders
+// reports a timeout once — and only once — its window elapses.
+func TestGatherEmptyWindowTimesOut(t *testing.T) {
+	r := newRig(t, 2, 33)
+	lhA := vid.LHID(10)
+	r.place(lhA, 0)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	const window = 150 * time.Millisecond
+	var rs []GatherReply
+	var err error
+	var elapsed time.Duration
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		start := tk.Now()
+		client.StartGather(tk, vid.GroupProgramManagers, vid.Message{Op: testOp}, window)
+		rs, err = client.AwaitGather(tk)
+		elapsed = tk.Now().Sub(start)
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err == nil {
+		t.Fatalf("empty gather succeeded with %d replies", len(rs))
+	}
+	if elapsed < window || elapsed > window+time.Second {
+		t.Fatalf("empty gather closed after %v, want ≈%v", elapsed, window)
+	}
+}
+
+// TestGatherUnicastProbe uses gather mode against a single process — the
+// scheduling layer's bounded probe: one reply, and the caller regains
+// control when the window closes instead of riding the full retransmission
+// schedule of a plain Send to a dead host.
+func TestGatherUnicastProbe(t *testing.T) {
+	r := newRig(t, 2, 34)
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+	var rs []GatherReply
+	var err error
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		client.StartGather(tk, server.PID(), vid.Message{Op: testOp, W: [6]uint32{41}}, 100*time.Millisecond)
+		rs, err = client.AwaitGather(tk)
+	})
+	r.sim.RunFor(5 * time.Second)
+	if err != nil {
+		t.Fatalf("AwaitGather: %v", err)
+	}
+	if len(rs) != 1 || rs[0].Msg.W[0] != 42 {
+		t.Fatalf("unicast gather = %v, want one echo reply", rs)
+	}
+}
+
+// TestBindingCacheTraceMatchesStats drives the binding cache through
+// misses, hits, and an explicit invalidation, then checks that the trace
+// bus saw exactly as many events as the Stats counters recorded — the
+// cache instrumentation may have no blind spots.
+func TestBindingCacheTraceMatchesStats(t *testing.T) {
+	r := newRig(t, 2, 35)
+	tb := r.attachTrace()
+	lhA, lhB := vid.LHID(10), vid.LHID(20)
+	r.place(lhA, 0)
+	r.place(lhB, 1)
+	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
+	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
+	echoServer(r.sim, server)
+
+	send := func(tk *sim.Task) {
+		if _, err := client.Send(tk, server.PID(), vid.Message{Op: testOp}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}
+	r.sim.Spawn("client", func(tk *sim.Task) {
+		for i := 0; i < 5; i++ {
+			send(tk)
+		}
+	})
+	r.sim.RunFor(5 * time.Second)
+
+	// Force a re-locate: the next send must miss again.
+	r.hosts[0].eng.InvalidateCache(lhB)
+	r.sim.Spawn("client2", func(tk *sim.Task) { send(tk) })
+	r.sim.RunFor(5 * time.Second)
+
+	var sum Stats
+	for _, h := range r.hosts {
+		st := h.eng.Stats()
+		sum.BindingHits += st.BindingHits
+		sum.BindingMisses += st.BindingMisses
+		sum.BindingInvalidations += st.BindingInvalidations
+	}
+	checks := []struct {
+		name  string
+		kind  trace.Kind
+		stats int64
+	}{
+		{"bind-hit", trace.EvBindHit, sum.BindingHits},
+		{"bind-miss", trace.EvBindMiss, sum.BindingMisses},
+		{"bind-invalidate", trace.EvBindInvalidate, sum.BindingInvalidations},
+	}
+	for _, c := range checks {
+		if got := tb.Count(c.kind); got != c.stats {
+			t.Errorf("trace %s events = %d, Stats counter = %d", c.name, got, c.stats)
+		}
+		if c.stats == 0 {
+			t.Errorf("%s path was not exercised", c.name)
+		}
+	}
+	if st := r.hosts[0].eng.Stats(); st.BindingInvalidations != 1 {
+		t.Errorf("client invalidations = %d, want exactly the explicit one", st.BindingInvalidations)
+	}
+	// Invalidating an absent binding neither counts nor traces.
+	before := tb.Count(trace.EvBindInvalidate)
+	r.hosts[0].eng.InvalidateCache(vid.LHID(777))
+	if tb.Count(trace.EvBindInvalidate) != before {
+		t.Error("invalidating an uncached binding published a trace event")
+	}
+}
+
+// TestBindingCacheLRUEviction fills the cache past its capacity and checks
+// the bound holds, evictions are counted, and recency decides the victim.
+func TestBindingCacheLRUEviction(t *testing.T) {
+	r := newRig(t, 1, 36)
+	e := r.hosts[0].eng
+	cap := params.BindingCacheCap
+	for i := 0; i < cap; i++ {
+		e.cacheInsert(vid.LHID(1000+i), ethernet.MAC(7))
+	}
+	if e.CacheLen() != cap {
+		t.Fatalf("cache holds %d bindings, want %d", e.CacheLen(), cap)
+	}
+	// Refresh the oldest entry; the next insert must evict the runner-up.
+	e.cacheInsert(vid.LHID(1000), ethernet.MAC(8))
+	e.cacheInsert(vid.LHID(2000), ethernet.MAC(9))
+	if e.CacheLen() != cap {
+		t.Fatalf("cache grew to %d bindings, capacity is %d", e.CacheLen(), cap)
+	}
+	if st := e.Stats(); st.BindingEvictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.BindingEvictions)
+	}
+	if mac, ok := e.CacheLookup(vid.LHID(1000)); !ok || mac != 8 {
+		t.Error("refreshed entry was evicted (LRU recency not honored)")
+	}
+	if _, ok := e.CacheLookup(vid.LHID(1001)); ok {
+		t.Error("least recently used entry survived past capacity")
+	}
+	if _, ok := e.CacheLookup(vid.LHID(2000)); !ok {
+		t.Error("newest entry missing after insert")
+	}
+}

@@ -48,6 +48,19 @@ type sendTxn struct {
 	code   uint16 // failure code when done && code != OK
 	silent int    // retransmissions since last evidence of life
 	timer  *sim.Timer
+
+	// Gather mode (StartGather): collect every reply that arrives within
+	// the window instead of completing on the first one.
+	gather  bool
+	replies []GatherReply
+	seen    map[vid.PID]bool // responders already recorded (dedup)
+	wtimer  *sim.Timer       // window expiry
+}
+
+// GatherReply is one responder's answer to a gathering send.
+type GatherReply struct {
+	Src vid.PID
+	Msg vid.Message
 }
 
 // Req is a received request awaiting its reply. Servers that defer replies
@@ -98,6 +111,9 @@ func (p *Port) Close() {
 	if p.send != nil && p.send.timer != nil {
 		p.send.timer.Stop()
 	}
+	if p.send != nil && p.send.wtimer != nil {
+		p.send.wtimer.Stop()
+	}
 	delete(p.eng.ports, p.pid)
 	for i, q := range p.eng.portList {
 		if q == p {
@@ -132,6 +148,80 @@ func (p *Port) StartSend(t *sim.Task, dst vid.PID, msg vid.Message) {
 	p.armTimer()
 }
 
+// StartGather begins a gathering send: the request is transmitted (and
+// retransmitted) exactly like StartSend, but instead of completing on the
+// first reply the transaction collects every distinct responder's reply
+// until the window elapses. This is the generalized group-send path the
+// scheduling layer uses to build a cluster-load view from one multicast
+// (§2.1); it also bounds a unicast probe of a possibly dead host, where a
+// plain Send would ride out its full abort timeout. The first-reply fast
+// path (StartSend/AwaitReply) is untouched.
+//
+// Replies must fit a single frame (selection answers are word-only);
+// fragmented replies from concurrent responders would interleave in one
+// reassembly window.
+func (p *Port) StartGather(t *sim.Task, dst vid.PID, msg vid.Message, window time.Duration) {
+	if p.send != nil {
+		panic(fmt.Sprintf("ipc: %v StartGather with send outstanding", p.pid))
+	}
+	if len(msg.Seg) > packet.InlineSegMax {
+		panic("ipc: gather send with fragmented segment")
+	}
+	p.txSeq++
+	s := &sendTxn{
+		txid: p.txSeq, dst: dst, msg: msg,
+		group: dst.IsGroup(), gather: true, seen: make(map[vid.PID]bool),
+	}
+	p.send = s
+	p.transmitOn(t, false)
+	p.armTimer()
+	s.wtimer = p.eng.sim.After(window, func() { p.endGather(s) })
+}
+
+// endGather closes a gathering send when its window elapses.
+func (p *Port) endGather(s *sendTxn) {
+	if p.send != s || s.done || p.closed {
+		return
+	}
+	s.done = true
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	if len(s.replies) == 0 {
+		s.code = vid.CodeTimeout
+	}
+	p.replyWait.WakeAll()
+}
+
+// addGatherReply records one responder's reply, ignoring duplicates (a
+// retransmitted query answered from the responder's reply cache).
+func (p *Port) addGatherReply(src vid.PID, msg vid.Message) {
+	s := p.send
+	if s == nil || s.done || !s.gather || s.seen[src] {
+		return
+	}
+	s.seen[src] = true
+	s.replies = append(s.replies, GatherReply{Src: src, Msg: msg})
+}
+
+// AwaitGather blocks until the gather window closes (or the transaction
+// fails outright, e.g. no-process on a unicast probe), returning the
+// collected replies in arrival order. An empty gather reports timeout.
+func (p *Port) AwaitGather(t *sim.Task) ([]GatherReply, error) {
+	s := p.send
+	if s == nil || !s.gather {
+		panic(fmt.Sprintf("ipc: %v AwaitGather without gathering send", p.pid))
+	}
+	for !s.done {
+		p.replyWait.Wait(t)
+	}
+	p.send = nil
+	if len(s.replies) == 0 && s.code != vid.CodeOK {
+		return nil, vid.CodeError(s.code)
+	}
+	return s.replies, nil
+}
+
 // armTimer schedules the retransmission/abort timer for the current send.
 func (p *Port) armTimer() {
 	s := p.send
@@ -148,7 +238,9 @@ func (p *Port) tick(s *sendTxn) {
 	if s.group {
 		limit = params.GroupAbortAfterRetries
 	}
-	if s.silent > limit {
+	if s.silent > limit && !s.gather {
+		// Gathering sends never abort on silence: the window timer owns
+		// their termination (an empty gather reports timeout there).
 		p.failSend(s.txid, vid.CodeTimeout)
 		return
 	}
@@ -257,6 +349,9 @@ func (p *Port) completeSend(msg vid.Message) {
 	if s.timer != nil {
 		s.timer.Stop()
 	}
+	if s.wtimer != nil {
+		s.wtimer.Stop()
+	}
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
 }
@@ -272,6 +367,9 @@ func (p *Port) failSend(txid uint32, code uint16) {
 	if s.timer != nil {
 		s.timer.Stop()
 	}
+	if s.wtimer != nil {
+		s.wtimer.Stop()
+	}
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
 }
@@ -279,9 +377,10 @@ func (p *Port) failSend(txid uint32, code uint16) {
 // notePending resets the abort countdown: the destination is alive but not
 // ready (busy, queued, or frozen). Group transactions ignore reply-pending:
 // a member that received the query but declined to answer must not keep
-// the sender waiting past its group timeout.
+// the sender waiting past its group timeout. Gathering sends ignore it too
+// — their window is fixed regardless of responder liveness.
 func (p *Port) notePending(txid uint32) {
-	if s := p.send; s != nil && !s.done && s.txid == txid && !s.group {
+	if s := p.send; s != nil && !s.done && s.txid == txid && !s.group && !s.gather {
 		s.silent = 0
 	}
 }

@@ -147,6 +147,20 @@ func (c *ProcCtx) StartSend(dst vid.PID, msg vid.Message) {
 	c.gate()
 }
 
+// SendGather performs a bounded gathering transaction: the message is
+// sent (typically to a group) and *all* distinct replies arriving within
+// the window are collected, rather than the first one completing the
+// send. Resident servers use it for load-aware host selection; like any
+// group send it is not preserved across migration, so migratable bodies
+// should prefer Send.
+func (c *ProcCtx) SendGather(dst vid.PID, msg vid.Message, window time.Duration) ([]ipc.GatherReply, error) {
+	c.proc.port.StartGather(c.task, dst, msg, window)
+	c.gate()
+	rs, err := c.proc.port.AwaitGather(c.task)
+	c.gate()
+	return rs, err
+}
+
 // Sending reports whether a send transaction is outstanding (set after a
 // migration that interrupted a Send).
 func (c *ProcCtx) Sending() bool { return c.proc.port.Sending() }

@@ -63,6 +63,10 @@ type Host struct {
 	// traffic and no new work is accepted.
 	crashed bool
 
+	// beaconOn records that the periodic load-advertisement beacon has
+	// been started (EnableLoadAds is idempotent).
+	beaconOn bool
+
 	trace      *trace.Bus // nil until wired; nil bus is a no-op target
 	freezes    int64
 	frozenTime time.Duration
@@ -125,6 +129,65 @@ func (h *Host) MemFree() uint32 { return h.memFree }
 
 // Crashed reports whether the host is simulated as powered off.
 func (h *Host) Crashed() bool { return h.crashed }
+
+// ReadyDepth reports how many program-priority scheduling requests (local
+// and guest programs, ready or running) are competing for the CPU — the
+// primary load figure selection policies compare hosts by.
+func (h *Host) ReadyDepth() int { return h.CPU.QueueLen(params.PrioLocal) }
+
+// Residents reports how many non-system logical hosts (programs) are
+// resident.
+func (h *Host) Residents() int {
+	n := 0
+	for _, lh := range h.lhs {
+		if !lh.system {
+			n++
+		}
+	}
+	return n
+}
+
+// LoadWords packs the host's load advertisement into the six message words
+// the scheduling layer (internal/sched) decodes: system logical host, free
+// memory, ready-queue depth, resident programs, CPU utilization in
+// per-mille, and the program manager's PID (0 when the host runs no
+// program manager, e.g. the file server).
+func (h *Host) LoadWords() [6]uint32 {
+	var pm uint32
+	if pid, ok := h.wellKnown[vid.IdxProgramManager]; ok {
+		pm = uint32(pid)
+	}
+	return [6]uint32{
+		uint32(h.systemLH.id),
+		h.memFree,
+		uint32(h.ReadyDepth()),
+		uint32(h.Residents()),
+		uint32(h.CPU.Utilization() * 1000),
+		pm,
+	}
+}
+
+// EnableLoadAds makes the kernel export its load: every outgoing reply
+// frame is stamped with the current LoadWords (piggybacked dissemination,
+// no extra frames), and — when beacon > 0 — a KLoadAd broadcast is also
+// sent every beacon interval, staggered by host index so the beacons do
+// not collide. Idempotent; the beacon survives crash/restart (a crashed
+// host skips its ticks and the IPC engine drops broadcasts while down).
+func (h *Host) EnableLoadAds(beacon time.Duration) {
+	h.IPC.SetLoadFunc(h.LoadWords)
+	if beacon <= 0 || h.beaconOn {
+		return
+	}
+	h.beaconOn = true
+	var tick func()
+	tick = func() {
+		if !h.crashed {
+			h.IPC.BroadcastLoad()
+		}
+		h.Eng.After(beacon, tick)
+	}
+	h.Eng.After(beacon+time.Duration(h.HostIndex*10)*time.Millisecond, tick)
+}
 
 // Crash simulates the workstation failing: all logical hosts (including
 // the system one) vanish, their processes die, and the station stops
@@ -211,7 +274,7 @@ func (r *hostResolver) DeferWhenFrozen(dst vid.PID, op uint16) bool {
 		return true
 	}
 	switch op {
-	case KsPing, KsQueryLH, KsQueryProcess, KsReadPages:
+	case KsPing, KsQueryLH, KsQueryProcess, KsQueryLoad, KsReadPages:
 		return false
 	}
 	return true

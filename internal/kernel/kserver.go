@@ -52,6 +52,10 @@ const (
 	// 1 stopped, 2 dead). The V debugger's read-registers primitive:
 	// works identically on local and remote processes (§6).
 	KsQueryProcess
+	// KsQueryLoad: → W = the host's load advertisement (LoadWords): a
+	// direct, always-fresh read of the figures the scheduling layer
+	// otherwise learns from piggybacked advertisements and beacons.
+	KsQueryLoad
 )
 
 // KernelServerPID returns the kernel server address reachable through the
@@ -255,6 +259,9 @@ func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
 			state = 2
 		}
 		return vid.Message{Op: m.Op, W: [6]uint32{state}, Seg: EncodeRegs(&p.regs)}
+
+	case KsQueryLoad:
+		return vid.Message{Op: m.Op, W: h.LoadWords()}
 
 	case KsQueryLH:
 		lh, ok := h.lhs[vid.LHID(m.W[0])]

@@ -47,12 +47,15 @@ const (
 	// KFragNack asks the original sender to retransmit the listed
 	// missing fragments (selective repair).
 	KFragNack
+	// KLoadAd broadcasts a host's compact load advertisement (the
+	// scheduling layer's periodic beacon); the Ad words carry the load.
+	KLoadAd
 	kindMax
 )
 
 var kindNames = [...]string{
 	"invalid", "request", "reply", "reply-pending", "no-proc",
-	"locate-req", "locate-resp", "binding", "frag", "frag-nack",
+	"locate-req", "locate-resp", "binding", "frag", "frag-nack", "load-ad",
 }
 
 func (k Kind) String() string {
@@ -96,6 +99,11 @@ type Packet struct {
 	Data []byte
 	// Missing lists fragment indices to retransmit (KFragNack).
 	Missing []uint16
+	// Ad is a compact load advertisement: piggybacked on KReply frames
+	// when the sending kernel exports one (HasAd set), and the payload of
+	// KLoadAd beacons. Word layout is owned by internal/sched.
+	Ad    [6]uint32
+	HasAd bool
 }
 
 // ErrTruncated reports a malformed/short encoding.
@@ -126,6 +134,20 @@ func Marshal(p *Packet) []byte {
 		b = binary.LittleEndian.AppendUint16(b, p.FragCount)
 		b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Msg.Seg)))
 		b = append(b, p.Msg.Seg...)
+		if p.Kind == KReply {
+			if p.HasAd {
+				b = append(b, 1)
+				for _, w := range p.Ad {
+					b = binary.LittleEndian.AppendUint32(b, w)
+				}
+			} else {
+				b = append(b, 0)
+			}
+		}
+	case KLoadAd:
+		for _, w := range p.Ad {
+			b = binary.LittleEndian.AppendUint32(b, w)
+		}
 	case KFrag:
 		b = append(b, byte(p.OfKind))
 		b = binary.LittleEndian.AppendUint16(b, p.FragIdx)
@@ -217,6 +239,19 @@ func Unmarshal(b []byte) (*Packet, error) {
 		n := int(r.u16())
 		if n > 0 {
 			p.Msg.Seg = r.bytes(n)
+		}
+		if p.Kind == KReply {
+			p.HasAd = r.u8() != 0
+			if p.HasAd {
+				for i := range p.Ad {
+					p.Ad[i] = r.u32()
+				}
+			}
+		}
+	case KLoadAd:
+		p.HasAd = true
+		for i := range p.Ad {
+			p.Ad[i] = r.u32()
 		}
 	case KFrag:
 		p.OfKind = Kind(r.u8())

@@ -189,6 +189,57 @@ var (
 // response before retrying.
 const SelectTimeout = 500 * time.Millisecond
 
+// ----------------------------------------------------------- host selection
+//
+// The decentralized scheduling layer (internal/sched) keeps a TTL'd cache
+// of per-host load advertisements so that warm-cache selection can skip
+// the multicast query entirely.
+
+const (
+	// SchedCacheTTL is how long a cached load advertisement is considered
+	// fresh enough to select on. Advertisements refresh continuously from
+	// reply traffic and the periodic beacon.
+	SchedCacheTTL = 2 * time.Second
+
+	// SchedNegTTL is how long a host that refused (or failed to answer) a
+	// direct probe stays negatively cached and is skipped by warm-cache
+	// selection.
+	SchedNegTTL = 2 * time.Second
+
+	// SchedPlacementHold is how long the selector inflates a chosen host's
+	// cached ready-queue depth after placing work there, bridging the gap
+	// until the new program shows up in that host's own advertisements
+	// (avoids the herd effect of several quick placements all picking the
+	// same momentarily least-loaded host).
+	SchedPlacementHold = 1 * time.Second
+
+	// LoadBeaconInterval is the period of the broadcast load-advertisement
+	// beacon. Beacons run only when a load-aware selection policy is
+	// configured; the paper-baseline first-response policy generates no
+	// extra traffic.
+	LoadBeaconInterval = 1 * time.Second
+
+	// SelectGatherWindow is how long a gathering selection query collects
+	// multicast responses before choosing (every idle manager answers in
+	// ≈23 ms; the window adds slack for queueing and reply serialization).
+	SelectGatherWindow = 80 * time.Millisecond
+
+	// SelectProbeWindow bounds a direct (unicast) willingness probe of a
+	// cached candidate; silence past the window negatively caches the
+	// candidate instead of riding out a full send abort.
+	SelectProbeWindow = 150 * time.Millisecond
+
+	// SelectRandomK is the default sample size of the RandomK policy
+	// (power-of-K-choices: probe K random candidates, take the least
+	// loaded of them).
+	SelectRandomK = 2
+
+	// BindingCacheCap bounds the per-host logical-host→station binding
+	// cache (§3.1.4); beyond it the least recently used binding is evicted
+	// and must be re-located on next use.
+	BindingCacheCap = 64
+)
+
 // --------------------------------------------------------- fault tolerance
 
 const (

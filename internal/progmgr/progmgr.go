@@ -24,6 +24,7 @@ import (
 	"vsystem/internal/ipc"
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
+	"vsystem/internal/sched"
 	"vsystem/internal/vid"
 	"vsystem/internal/vvm"
 )
@@ -33,9 +34,13 @@ const (
 	// PmQueryHost: Seg=hostname → reply only from the named host:
 	// W0=system LH, W5=PM pid.
 	PmQueryHost uint16 = 0x30 + iota
-	// PmSelectHost: W0=min free memory (bytes), W1=exclude system LH →
-	// reply only from willing idle hosts: W0=system LH, W1=free memory,
-	// W5=PM pid.
+	// PmSelectHost: W0=min free memory (bytes), W1..W4=excluded system
+	// LHs, W5=sched query flags (0 = the paper's strict query) → reply
+	// only from willing hosts: W = the host's load advertisement
+	// (LoadWords: W0=system LH, W1=free memory, W2=ready depth,
+	// W3=residents, W4=util‰, W5=PM pid). Unwilling hosts stay silent,
+	// unless QueryUnicast asks for an explicit refusal; QueryRelaxed
+	// drops the idleness requirement (memory still applies).
 	PmSelectHost
 	// PmCreateProgram: W0=stdout PID, W1=guest flag, Seg=program name
 	// NUL-joined with arguments → W0=initial process PID, W1=LHID.
@@ -319,20 +324,31 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 			// enough free memory. The evaluation cost dominates the
 			// paper's 23 ms host-selection time. W1..W4 carry excluded
 			// system LHs: the requester's own host plus destinations that
-			// already failed this migration.
+			// already failed this migration. W5 carries sched query
+			// flags: a relaxed query is answered with the load even when
+			// the CPU is busy, and a unicast probe earns an explicit
+			// refusal where a multicast would get silence.
+			flags := m.W[5]
+			refuse := func() {
+				if flags&sched.QueryUnicast != 0 {
+					ctx.Reply(req, vid.ErrMsg(vid.CodeRefused))
+				} else {
+					port.Drop(req)
+				}
+			}
 			self := uint32(pm.host.SystemLH().ID())
 			if m.W[1] == self || m.W[2] == self || m.W[3] == self || m.W[4] == self {
-				port.Drop(req)
+				refuse()
 				continue
 			}
 			ctx.Compute(params.SelectProbeCPU)
-			if !pm.host.CPU.Idle() || pm.host.MemFree() < m.W[0] {
-				port.Drop(req)
+			willing := pm.host.MemFree() >= m.W[0] &&
+				(flags&sched.QueryRelaxed != 0 || pm.host.CPU.Idle())
+			if !willing {
+				refuse()
 				continue
 			}
-			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
-				uint32(pm.host.SystemLH().ID()), pm.host.MemFree(), 0, 0, 0, uint32(pm.PID()),
-			}})
+			ctx.Reply(req, vid.Message{Op: m.Op, W: pm.host.LoadWords()})
 
 		case PmCreateProgram:
 			ctx.Reply(req, pm.createProgram(ctx, m))

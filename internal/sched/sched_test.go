@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+// ld builds a selectable advertisement for the host at the given station
+// address (the system logical-host id carries the station in its high
+// byte, matching the kernel's layout).
+func ld(mac uint16, ready int, memKB uint32) Load {
+	lh := vid.LHID(uint32(mac)<<8 | 1)
+	return Load{
+		SystemLH: lh, MemFree: memKB * 1024, Ready: ready,
+		PM: vid.NewPID(lh, 3),
+	}
+}
+
+// testClock is a manually-advanced cache clock.
+type testClock struct{ now sim.Time }
+
+func (c *testClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+func (c *testClock) fn() func() sim.Time     { return func() sim.Time { return c.now } }
+
+func TestLoadWordsRoundTrip(t *testing.T) {
+	l := Load{SystemLH: 0x0301, MemFree: 640 * 1024, Ready: 2,
+		Residents: 1, UtilPermille: 750, PM: vid.NewPID(0x0301, 3)}
+	if got := LoadFromWords(l.Words()); got != l {
+		t.Fatalf("round trip: got %+v, want %+v", got, l)
+	}
+	if l.MAC() != 3 {
+		t.Fatalf("MAC() = %d, want 3", l.MAC())
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Load
+	}{
+		{"fewer ready wins", ld(1, 0, 512), ld(2, 1, 1024)},
+		{"fewer residents breaks ready tie",
+			Load{SystemLH: 0x0101, Ready: 1, Residents: 0, PM: 1},
+			Load{SystemLH: 0x0201, Ready: 1, Residents: 2, PM: 1}},
+		{"more memory breaks residents tie", ld(1, 1, 1024), ld(2, 1, 512)},
+		{"lower id is the final tiebreak", ld(1, 1, 512), ld(2, 1, 512)},
+	}
+	for _, c := range cases {
+		if !c.a.Better(c.b) || c.b.Better(c.a) {
+			t.Errorf("%s: ordering not strict for %v vs %v", c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	clk := &testClock{}
+	c := NewCache(clk.fn())
+	c.ObserveLoad(ld(1, 0, 512))
+	if got := c.Candidates(0, nil); len(got) != 1 {
+		t.Fatalf("fresh entry not offered: %v", got)
+	}
+	clk.advance(params.SchedCacheTTL + time.Millisecond)
+	if got := c.Candidates(0, nil); len(got) != 0 {
+		t.Fatalf("stale entry offered after TTL: %v", got)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not pruned, Len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+func TestCacheNegativeExpires(t *testing.T) {
+	clk := &testClock{}
+	c := NewCache(clk.fn())
+	c.ObserveLoad(ld(1, 0, 512))
+	c.ObserveLoad(ld(2, 0, 512))
+	c.Negative(ld(1, 0, 512).SystemLH)
+	got := c.Candidates(0, nil)
+	if len(got) != 1 || got[0].MAC() != 2 {
+		t.Fatalf("negative host still offered: %v", got)
+	}
+	if c.Stats().NegSkips != 1 {
+		t.Fatalf("negSkips = %d, want 1", c.Stats().NegSkips)
+	}
+	// The positive entries age out with the negative one; re-observe after
+	// the negative TTL — the host must be selectable again.
+	clk.advance(params.SchedNegTTL + time.Millisecond)
+	c.ObserveLoad(ld(1, 0, 512))
+	c.ObserveLoad(ld(2, 0, 512))
+	if got := c.Candidates(0, nil); len(got) != 2 {
+		t.Fatalf("negative entry did not expire: %v", got)
+	}
+}
+
+func TestCachePlacementBumps(t *testing.T) {
+	clk := &testClock{}
+	c := NewCache(clk.fn())
+	a, b := ld(1, 0, 512), ld(2, 0, 512)
+	c.ObserveLoad(a)
+	c.ObserveLoad(b)
+	// Two placements on host 1 inflate its apparent ready depth, so host 2
+	// sorts first even though both advertised idle.
+	c.NotePlaced(a.SystemLH)
+	c.NotePlaced(a.SystemLH)
+	got := c.Candidates(0, nil)
+	if len(got) != 2 || got[0].MAC() != 2 || got[1].Ready != 2 {
+		t.Fatalf("bumps not folded into ordering: %v", got)
+	}
+	clk.advance(params.SchedPlacementHold + time.Millisecond)
+	if got := c.Candidates(0, nil); got[0].MAC() != 1 || got[0].Ready != 0 {
+		t.Fatalf("placement bumps did not expire: %v", got)
+	}
+}
+
+func TestCacheFiltersMemAndExcluded(t *testing.T) {
+	clk := &testClock{}
+	c := NewCache(clk.fn())
+	small, big, home := ld(1, 0, 128), ld(2, 0, 1024), ld(3, 0, 1024)
+	for _, l := range []Load{small, big, home} {
+		c.ObserveLoad(l)
+	}
+	got := c.Candidates(256*1024, map[vid.LHID]bool{home.SystemLH: true})
+	if len(got) != 1 || got[0].MAC() != 2 {
+		t.Fatalf("mem/exclude filter: %v", got)
+	}
+}
+
+func TestCacheIgnoresUnselectableAds(t *testing.T) {
+	c := NewCache((&testClock{}).fn())
+	c.Observe([6]uint32{})                // no identity
+	c.Observe([6]uint32{0x0401, 1 << 20}) // no program manager (file server)
+	if c.Len() != 0 {
+		t.Fatalf("unselectable advertisements cached, Len = %d", c.Len())
+	}
+}
+
+func TestCacheDropHostAndFlush(t *testing.T) {
+	clk := &testClock{}
+	c := NewCache(clk.fn())
+	a, b := ld(1, 0, 512), ld(2, 0, 512)
+	c.ObserveLoad(a)
+	c.ObserveLoad(b)
+	c.DropHost(1)
+	got := c.Candidates(0, nil)
+	if len(got) != 1 || got[0].MAC() != 2 {
+		t.Fatalf("crashed host still offered: %v", got)
+	}
+	// The crashed host is negatively cached: a stale re-observation (e.g.
+	// an in-flight advertisement) must not resurrect it immediately.
+	c.ObserveLoad(a)
+	if got := c.Candidates(0, nil); len(got) != 1 {
+		t.Fatalf("dropped host resurrected by stale ad: %v", got)
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Flush left %d entries", c.Len())
+	}
+	if inv := c.Stats().Invalidations; inv != 3 {
+		t.Fatalf("invalidations = %d, want 3 (1 drop + 2 flushed)", inv)
+	}
+}
+
+func TestFirstResponsePolicy(t *testing.T) {
+	p := FirstResponse{}
+	if p.LoadAware() {
+		t.Fatal("first-response must not be load-aware (it is the paper baseline)")
+	}
+	cands := []Load{ld(3, 5, 128), ld(1, 0, 1024)}
+	if got := p.Pick(cands, nil); got.MAC() != 3 {
+		t.Fatalf("first-response picked %v, want the first (fastest) responder", got)
+	}
+}
+
+func TestLeastLoadedPolicy(t *testing.T) {
+	p := LeastLoaded{}
+	cands := []Load{ld(3, 5, 128), ld(2, 1, 512), ld(1, 0, 1024)}
+	if got := p.Pick(cands, nil); got.MAC() != 1 {
+		t.Fatalf("least-loaded picked %v, want the idle host", got)
+	}
+}
+
+func TestRandomKPolicyDeterministicAndBounded(t *testing.T) {
+	p := RandomK{K: 2}
+	cands := []Load{ld(1, 3, 512), ld(2, 1, 512), ld(3, 0, 512), ld(4, 2, 512)}
+	in := map[uint16]bool{1: true, 2: true, 3: true, 4: true}
+	for seed := int64(1); seed <= 5; seed++ {
+		a := p.Pick(cands, rand.New(rand.NewSource(seed)))
+		b := p.Pick(cands, rand.New(rand.NewSource(seed)))
+		if a != b {
+			t.Fatalf("seed %d: picks differ (%v vs %v)", seed, a, b)
+		}
+		if !in[a.MAC()] {
+			t.Fatalf("seed %d: pick %v not among candidates", seed, a)
+		}
+	}
+	// K larger than the candidate set degrades to best-of-all.
+	if got := (RandomK{K: 10}).Pick(cands, rand.New(rand.NewSource(1))); got.MAC() != 3 {
+		t.Fatalf("random-K over full set picked %v, want the best host", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	if _, ok := PolicyByName("").(FirstResponse); !ok {
+		t.Error("empty name must default to first-response")
+	}
+	if _, ok := PolicyByName("first").(FirstResponse); !ok {
+		t.Error(`"first" did not map to FirstResponse`)
+	}
+	if p, ok := PolicyByName("random").(RandomK); !ok || p.K != params.SelectRandomK {
+		t.Errorf(`"random" = %#v, want RandomK{K: %d}`, PolicyByName("random"), params.SelectRandomK)
+	}
+	if _, ok := PolicyByName("least").(LeastLoaded); !ok {
+		t.Error(`"least" did not map to LeastLoaded`)
+	}
+	if PolicyByName("bogus") != nil {
+		t.Error("unknown policy name must return nil")
+	}
+}

@@ -1,0 +1,244 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+
+	"vsystem/internal/ipc"
+	"vsystem/internal/params"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// Sender is the transaction capability a Selector needs; *kernel.ProcCtx
+// satisfies it (the sched package deliberately does not import the
+// kernel — it sits beside it, like progmgr).
+type Sender interface {
+	Send(dst vid.PID, msg vid.Message) (vid.Message, error)
+	SendGather(dst vid.PID, msg vid.Message, window time.Duration) ([]ipc.GatherReply, error)
+	Now() sim.Time
+}
+
+// Stats counts a selector's activity.
+type Stats struct {
+	// Queries is the number of Select calls.
+	Queries int64
+	// WarmPicks is how many selections committed from the cache without
+	// any multicast.
+	WarmPicks int64
+	// Multicasts is how many group queries went out (first-response sends
+	// and gathering queries both count).
+	Multicasts int64
+	// Probes / ProbeFailures count directed willingness probes of cached
+	// candidates.
+	Probes, ProbeFailures int64
+}
+
+// Selector runs host selection for one workstation: a policy over the
+// host's load-view cache, falling back to the multicast query protocol
+// when the cache cannot answer.
+type Selector struct {
+	Policy Policy
+	Cache  *Cache
+
+	group vid.PID
+	op    uint16
+	host  uint16 // station MAC, for trace events
+	bus   *trace.Bus
+	rng   *rand.Rand
+
+	stats Stats
+}
+
+// NewSelector builds a selector for the workstation with the given
+// station MAC. group/op address the selection protocol (the
+// program-manager group and its PmSelectHost operation — passed in so
+// sched does not import progmgr). The rng must be dedicated to this
+// selector and deterministically seeded.
+func NewSelector(p Policy, cache *Cache, group vid.PID, op uint16, host uint16, bus *trace.Bus, rng *rand.Rand) *Selector {
+	return &Selector{
+		Policy: p, Cache: cache,
+		group: group, op: op, host: host, bus: bus, rng: rng,
+	}
+}
+
+// Stats snapshots the selector's counters.
+func (s *Selector) Stats() Stats { return s.stats }
+
+// Select picks an execution host with at least minMem free, never one of
+// the excluded system logical hosts. Under a non-load-aware policy it is
+// wire-compatible with the paper's protocol: up to two first-response
+// multicasts. Under a load-aware policy it first consults the cache and
+// directly probes the policy's choice (warm path, no multicast), then
+// falls back to a gathering multicast that collects every answer within
+// the window.
+func (s *Selector) Select(tx Sender, minMem uint32, exclude ...vid.LHID) (Load, error) {
+	s.stats.Queries++
+	s.bus.Publish(trace.Event{
+		At: tx.Now(), Host: s.host, Kind: trace.EvSelectQuery, Size: int(minMem / 1024),
+	})
+
+	var w [6]uint32
+	w[0] = minMem
+	ex := make(map[vid.LHID]bool, len(exclude))
+	for i, lh := range exclude {
+		if i < 4 {
+			w[i+1] = uint32(lh)
+		}
+		ex[lh] = true
+	}
+
+	if !s.Policy.LoadAware() {
+		return s.selectFirst(tx, w)
+	}
+
+	// Warm path: the cache proposes candidates; probe the policy's choice
+	// directly. A refusal or silence negatively caches the candidate and
+	// moves to the next; after two failed probes fall through to the
+	// multicast rather than serially probing a cold cluster.
+	cands := s.Cache.Candidates(minMem, ex)
+	for _, c := range cands {
+		s.candidate(tx, c, true)
+	}
+	for probes := 0; len(cands) > 0 && probes < 2; probes++ {
+		pick := s.Policy.Pick(cands, s.rng)
+		if l, ok := s.probe(tx, pick, w); ok {
+			s.stats.WarmPicks++
+			s.choose(tx, l, true)
+			return l, nil
+		}
+		s.Cache.Negative(pick.SystemLH)
+		cands = dropLH(cands, pick.SystemLH)
+	}
+
+	// Cold path: gather every answer within the window and let the
+	// policy rank them. Relaxed — busy hosts answer with their load.
+	wq := w
+	wq[5] = QueryRelaxed
+	for attempt := 0; attempt < 2; attempt++ {
+		s.stats.Multicasts++
+		rs, err := tx.SendGather(s.group, vid.Message{Op: s.op, W: wq}, params.SelectGatherWindow)
+		if err != nil {
+			continue
+		}
+		var got []Load
+		for _, r := range rs {
+			if !r.Msg.OK() {
+				continue
+			}
+			l := LoadFromWords(r.Msg.W)
+			s.Cache.ObserveLoad(l)
+			if ex[l.SystemLH] {
+				continue
+			}
+			got = append(got, l)
+			s.candidate(tx, l, false)
+		}
+		if len(got) > 0 {
+			sortLoads(got)
+			l := s.Policy.Pick(got, s.rng)
+			s.choose(tx, l, false)
+			return l, nil
+		}
+	}
+	return Load{}, ErrNoHost
+}
+
+// selectFirst is the paper's protocol, kept call-for-call identical to
+// the pre-sched implementation: two strict first-response multicasts.
+func (s *Selector) selectFirst(tx Sender, w [6]uint32) (Load, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		s.stats.Multicasts++
+		m, err := tx.Send(s.group, vid.Message{Op: s.op, W: w})
+		if err == nil && m.OK() {
+			l := LoadFromWords(m.W)
+			s.Cache.ObserveLoad(l)
+			s.candidate(tx, l, false)
+			s.choose(tx, l, false)
+			return l, nil
+		}
+	}
+	return Load{}, ErrNoHost
+}
+
+// probe asks one cached candidate directly whether it will take the work.
+// The probe is a bounded gather rather than a plain Send so that a dead
+// or partitioned candidate costs one probe window, not a full
+// retransmission abort.
+func (s *Selector) probe(tx Sender, cand Load, w [6]uint32) (Load, bool) {
+	if cand.PM == 0 {
+		return Load{}, false
+	}
+	s.stats.Probes++
+	wq := w
+	wq[5] = QueryUnicast | QueryRelaxed
+	rs, err := tx.SendGather(cand.PM, vid.Message{Op: s.op, W: wq}, params.SelectProbeWindow)
+	if err != nil || len(rs) == 0 || !rs[0].Msg.OK() {
+		s.stats.ProbeFailures++
+		return Load{}, false
+	}
+	l := LoadFromWords(rs[0].Msg.W)
+	s.Cache.ObserveLoad(l)
+	return l, true
+}
+
+// choose commits the selection: a placement bump bridges the window until
+// the chosen host's own advertisements reflect the new work.
+func (s *Selector) choose(tx Sender, l Load, warm bool) {
+	s.Cache.NotePlaced(l.SystemLH)
+	s.bus.Publish(trace.Event{
+		At: tx.Now(), Host: s.host, Kind: trace.EvSelectChoice,
+		LH: l.SystemLH, Prio: boolInt(warm),
+	})
+}
+
+func (s *Selector) candidate(tx Sender, l Load, warm bool) {
+	s.bus.Publish(trace.Event{
+		At: tx.Now(), Host: s.host, Kind: trace.EvSelectCandidate,
+		LH: l.SystemLH, Size: l.Ready, Prio: boolInt(warm),
+	})
+}
+
+// Metrics exposes the selector and cache counters as a trace source.
+func (s *Selector) Metrics() []trace.Metric {
+	cs := s.Cache.Stats()
+	return []trace.Metric{
+		{Name: "queries", Value: float64(s.stats.Queries)},
+		{Name: "warm_picks", Value: float64(s.stats.WarmPicks)},
+		{Name: "multicasts", Value: float64(s.stats.Multicasts)},
+		{Name: "probes", Value: float64(s.stats.Probes)},
+		{Name: "probe_failures", Value: float64(s.stats.ProbeFailures)},
+		{Name: "cache_hits", Value: float64(cs.Hits)},
+		{Name: "cache_misses", Value: float64(cs.Misses)},
+		{Name: "neg_skips", Value: float64(cs.NegSkips)},
+		{Name: "invalidations", Value: float64(cs.Invalidations)},
+	}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func dropLH(ls []Load, lh vid.LHID) []Load {
+	out := ls[:0]
+	for _, l := range ls {
+		if l.SystemLH != lh {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func sortLoads(ls []Load) {
+	// Insertion sort: candidate sets are tiny and this keeps the package
+	// free of a sort dependency in the hot path.
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Better(ls[j-1]); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}

@@ -85,3 +85,67 @@ func TestQueueMultipleConsumers(t *testing.T) {
 		t.Fatalf("LiveTasks = %d", e.LiveTasks())
 	}
 }
+
+// TestQueuePopTimeoutSameInstantPush pins the deadline re-check: a push
+// and a consumer's timeout land on the same instant, with the push event
+// sequenced first. The push wakes the longest waiter (a plain Pop), whose
+// wake is delivered as a deferred event — so when the timed consumer's
+// deadline timer fires in between, the queue is non-empty and the timed
+// consumer must take the item rather than report a timeout.
+func TestQueuePopTimeoutSameInstantPush(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[int]
+	// Registered before the consumers spawn, so at the shared instant this
+	// event's sequence number sorts ahead of the deadline timer's.
+	e.After(10*time.Millisecond, func() { q.Push(42) })
+	aWoke := false
+	e.Spawn("a", func(tk *Task) {
+		q.Pop(tk)
+		aWoke = true
+	})
+	var v int
+	var ok bool
+	e.Spawn("b", func(tk *Task) {
+		v, ok = q.PopTimeout(tk, 10*time.Millisecond)
+	})
+	e.Run()
+	if !ok || v != 42 {
+		t.Fatalf("timed pop = (%d, %v), want the same-instant item (42, true)", v, ok)
+	}
+	if aWoke {
+		t.Fatal("plain Pop consumed the item that the timed consumer took")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after delivery", q.Len())
+	}
+	if e.LiveTasks() != 1 {
+		t.Fatalf("LiveTasks = %d, want 1 (the plain Pop stays blocked)", e.LiveTasks())
+	}
+}
+
+// TestQueueClearWithBlockedConsumers checks Clear's contract: blocked
+// consumers stay blocked, and a consumer already woken for an item that
+// Clear discarded re-checks emptiness and goes back to sleep instead of
+// popping from the emptied queue.
+func TestQueueClearWithBlockedConsumers(t *testing.T) {
+	e := NewEngine(1)
+	var q Queue[int]
+	var got []int
+	e.Spawn("consumer", func(tk *Task) {
+		got = append(got, q.Pop(tk))
+	})
+	// Push and Clear at the same instant: the wake is already scheduled
+	// when Clear empties the queue.
+	e.After(5*time.Millisecond, func() { q.Push(1); q.Clear() })
+	e.After(10*time.Millisecond, func() { q.Push(2) })
+	e.Run()
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want only the post-Clear item [2]", got)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if e.LiveTasks() != 0 {
+		t.Fatalf("LiveTasks = %d", e.LiveTasks())
+	}
+}

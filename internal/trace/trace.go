@@ -86,6 +86,23 @@ const (
 	// EvMigFault: the fault injector killed a migration participant at an
 	// armed phase (Prio carries the phase, Size the pre-copy round).
 	EvMigFault
+	// EvBindHit: the IPC binding cache resolved a logical host (§3.1.4).
+	EvBindHit
+	// EvBindMiss: the binding cache had no entry; a locate follows.
+	EvBindMiss
+	// EvBindInvalidate: a binding was discarded (retransmission overrun or
+	// an explicit rebind).
+	EvBindInvalidate
+	// EvSelectQuery: the scheduling layer started a host-selection query
+	// (Size carries the memory requirement in KB).
+	EvSelectQuery
+	// EvSelectCandidate: selection considered one candidate host (LH its
+	// system logical host, Size its ready-queue depth, Prio 1 if it came
+	// from the warm cache rather than a fresh multicast response).
+	EvSelectCandidate
+	// EvSelectChoice: selection committed to a host (LH the chosen system
+	// logical host, Prio 1 if chosen warm — without a multicast).
+	EvSelectChoice
 
 	numKinds
 )
@@ -94,7 +111,8 @@ var kindNames = [numKinds]string{
 	"frame-tx", "frame-drop", "tx", "rx", "local", "drop", "retx",
 	"reply-pending", "locate", "rebind", "freeze", "unfreeze", "dispatch",
 	"frame-cut", "frame-corrupt", "host-crash", "host-restart",
-	"partition", "heal", "mig-fault",
+	"partition", "heal", "mig-fault", "bind-hit", "bind-miss",
+	"bind-invalidate", "select-query", "select-candidate", "select-choice",
 }
 
 func (k Kind) String() string {
