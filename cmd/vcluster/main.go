@@ -5,6 +5,12 @@
 // Commands (one per line; `#` starts a comment):
 //
 //	run <prog> [args] [@ <where>]   execute a program (local, * = any idle)
+//	run -restarts <n> ...      same, with an explicit recovery budget: how
+//	                           many times the home manager may re-execute
+//	                           the program if its hosting workstation dies
+//	                           (0 disables supervision; `exec` is an alias)
+//	jobs                       list supervised exec sessions: job, current
+//	                           host, incarnation, lease age, state
 //	wait <job>                 wait for a job to exit
 //	migrate <job>              migrateprog: move the job elsewhere
 //	migrate -n <job>           migrateprog -n: destroy if no host accepts
@@ -25,7 +31,8 @@
 //	                           rebind, loss) as the simulation advances
 //	loss <p>                   set the Ethernet frame-loss probability
 //	hosts                      list workstations: advertised load plus each
-//	                           host's selection-cache contents and age
+//	                           host's selection-cache contents and age, and
+//	                           any stations its failure detector suspects
 //	time                       print the virtual clock
 //	quit
 //
@@ -50,6 +57,7 @@ import (
 
 	"vsystem/internal/core"
 	"vsystem/internal/nameserver"
+	"vsystem/internal/params"
 	"vsystem/internal/progs"
 	"vsystem/internal/sched"
 	"vsystem/internal/trace"
@@ -226,6 +234,40 @@ func (r *repl) exec(line string) bool {
 					e.Load.SystemLH, e.Load.Ready, e.Load.MemFree/1024,
 					e.Age.Round(time.Millisecond), tag)
 			}
+			if sus := n.Host.IPC.Suspects(); len(sus) > 0 {
+				names := make([]string, 0, len(sus))
+				for _, mac := range sus {
+					names = append(names, r.nodeByMAC(mac))
+				}
+				r.printf("         suspects dead: %s", strings.Join(names, ", "))
+			}
+		}
+
+	case "jobs":
+		any := false
+		for _, n := range r.c.Nodes {
+			for _, v := range n.PM.Sessions() {
+				any = true
+				host := "?"
+				if hn := r.c.NodeByLH(v.HostLH); hn != nil {
+					host = hn.Name()
+				}
+				id := "-"
+				for jid, job := range r.jobs {
+					// A Wait that followed the recovery may have rebound
+					// the handle to the current incarnation's LHID.
+					if job.LHID == v.LHID || job.LHID == v.CurLH {
+						id = jid
+						break
+					}
+				}
+				r.printf("%-4s %-12s home=%-5s host=%-5s lh=%v incarnation=%d restarts=%d lease=%v %s",
+					id, v.Name, n.Name(), host, v.CurLH, v.Incarnation, v.Restarts,
+					v.LeaseAge.Round(time.Millisecond), v.State)
+			}
+		}
+		if !any {
+			r.printf("(no supervised jobs)")
 		}
 
 	case "advance":
@@ -241,9 +283,19 @@ func (r *repl) exec(line string) bool {
 		r.c.Run(d)
 		r.printf("clock: %v", r.c.Sim.Now())
 
-	case "run":
+	case "run", "exec":
 		where := ""
 		rest := f[1:]
+		restarts := params.ExecMaxRestarts
+		if len(rest) >= 2 && rest[0] == "-restarts" {
+			n, err := strconv.Atoi(rest[1])
+			if err != nil || n < 0 {
+				r.printf("! -restarts needs a non-negative count")
+				break
+			}
+			restarts = n
+			rest = rest[2:]
+		}
 		for i, a := range rest {
 			if a == "@" {
 				if i+1 < len(rest) {
@@ -254,12 +306,12 @@ func (r *repl) exec(line string) bool {
 			}
 		}
 		if len(rest) == 0 {
-			r.printf("! run <prog> [args] [@ where]")
+			r.printf("! run [-restarts n] <prog> [args] [@ where]")
 			break
 		}
 		prog, args := rest[0], rest[1:]
 		r.do(func(a *core.Agent) {
-			job, err := a.Exec(prog, args, where)
+			job, err := a.ExecR(prog, args, where, restarts)
 			if err != nil {
 				r.printf("! %v", err)
 				return
@@ -502,6 +554,16 @@ func (r *repl) exec(line string) bool {
 		r.printf("! unknown command %q", f[0])
 	}
 	return true
+}
+
+// nodeByMAC names the workstation behind a station address.
+func (r *repl) nodeByMAC(mac ethernet.MAC) string {
+	for _, n := range r.c.Nodes {
+		if n.Host.NIC.MAC() == mac {
+			return n.Name()
+		}
+	}
+	return fmt.Sprintf("station %d", mac)
 }
 
 // macSet resolves a comma-separated host-name list ("ws0,ws2") to MACs.

@@ -145,19 +145,33 @@ func NewCluster(opt Options) *Cluster {
 		h.EnableLoadAds(beacon)
 		tb.RegisterSource("sched/"+h.Name, n.Selector.Metrics)
 		n.PM.Migrator = &Migrator{Policy: opt.Policy, Cluster: c, FaultHook: c.Fault.OnPhase, Selector: n.Selector}
+		n.PM.Selector = n.Selector
+		registerSupMetrics(tb, n)
 		n.Display = display.Start(h)
 		c.Nodes = append(c.Nodes, n)
 		c.Fault.RegisterHost(h.NIC.MAC(), h.Crash, n.Restart)
 	}
-	// Selection caches react to injected faults: a crash drops (and
-	// negatively caches) the dead host's entries everywhere; partitions
-	// and heals flush every cache — any cached view may be stale on
-	// either side of the cut.
+	// Selection caches and session supervisors react to injected faults
+	// and detector verdicts: a crash drops (and negatively caches) the
+	// dead host's entries everywhere and breaks every session it hosted;
+	// a suspicion does the same, but only on the host whose detector
+	// formed it — suspicion is local evidence, not cluster-wide truth;
+	// partitions and heals flush every cache — any cached view may be
+	// stale on either side of the cut. Subscribers only flip state, never
+	// send: recovery runs on the pm-lease workers.
 	tb.Subscribe(func(ev trace.Event) {
 		switch ev.Kind {
 		case trace.EvHostCrash:
 			for _, n := range c.Nodes {
 				n.Selector.Cache.DropHost(ev.Host)
+				n.PM.NoteHostDown(ev.Host)
+			}
+		case trace.EvHostSuspect:
+			for _, n := range c.Nodes {
+				if uint16(n.Host.NIC.MAC()) == ev.Host {
+					n.Selector.Cache.DropHost(ev.Peer)
+					n.PM.NoteHostSuspect(ev.Peer)
+				}
 			}
 		case trace.EvPartition, trace.EvHeal:
 			for _, n := range c.Nodes {
@@ -203,6 +217,20 @@ func registerHostMetrics(tb *trace.Bus, h *kernel.Host) {
 	})
 }
 
+// registerSupMetrics exposes a node's session-supervision counters. It
+// closes over the node, not the manager — the manager is replaced on
+// restart.
+func registerSupMetrics(tb *trace.Bus, n *Node) {
+	tb.RegisterSource("sup/"+n.Name(), func() []trace.Metric {
+		st := n.PM.SupStats()
+		return []trace.Metric{
+			{Name: "lease_renews", Value: float64(st.LeaseRenews)},
+			{Name: "lease_expires", Value: float64(st.LeaseExpires)},
+			{Name: "exec_restarts", Value: float64(st.ExecRestarts)},
+		}
+	})
+}
+
 // Install stores a program image on the file server (and remembers it so
 // a restarted file server can be restocked).
 func (c *Cluster) Install(img *image.Image) {
@@ -224,6 +252,7 @@ func (n *Node) Restart() {
 	n.Host.Restart()
 	n.PM = progmgr.Start(n.Host)
 	n.PM.Migrator = &Migrator{Policy: c.policy, Cluster: c, FaultHook: c.Fault.OnPhase, Selector: n.Selector}
+	n.PM.Selector = n.Selector
 	n.Display = display.Start(n.Host)
 	nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
 	nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())

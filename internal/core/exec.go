@@ -93,15 +93,27 @@ type Job struct {
 const ExecMinMem = 256 * 1024
 
 // Exec runs a program, paralleling the command-interpreter syntax:
-// where is "" (local), "*" (any idle machine), or a host name.
+// where is "" (local), "*" (any idle machine), or a host name. Remote
+// executions are supervised with the default restart budget.
+func (a *Agent) Exec(prog string, args []string, where string) (*Job, error) {
+	return a.ExecR(prog, args, where, params.ExecMaxRestarts)
+}
+
+// ExecR is Exec with an explicit restart budget (0 disables recovery):
+// how many times the home program manager may re-execute the program from
+// its file-server image if the hosting workstation is lost.
 //
 // The sequence follows §2.1: select a program manager, send it the
 // program-creation request (it builds the address space, loads the image
 // from the file server, initializes arguments, environment, and default
 // I/O), then start the program by "replying to its initial process" — a
 // start operation to the kernel server addressed through the new logical
-// host.
-func (a *Agent) Exec(prog string, args []string, where string) (*Job, error) {
+// host. A remote job is then registered with the home program manager's
+// session supervisor, which leases it from the hosting manager and
+// recovers it if that host dies (§2.3's residual-dependency stance: the
+// remote program should depend on nothing of the hosting workstation the
+// home environment cannot replace).
+func (a *Agent) ExecR(prog string, args []string, where string, maxRestarts int) (*Job, error) {
 	ctx := a.ctx
 	var sel HostSel
 	var err error
@@ -150,11 +162,27 @@ func (a *Agent) Exec(prog string, args []string, where string) (*Job, error) {
 		Op: kernel.KsStartProcess,
 		W:  [6]uint32{uint32(job.PID)},
 	})
-	if err != nil {
-		return nil, err
-	}
-	if !sm.OK() {
+	if err != nil || !sm.OK() {
+		// The environment was created but the program never started: reap
+		// it so the failed Exec does not leak an address space on the
+		// remote manager. If the manager is unreachable too, hand the job
+		// to the home manager's retrying reaper.
+		if _, e := ctx.Send(sel.PM, vid.Message{
+			Op: progmgr.PmDestroyProgram, W: [6]uint32{uint32(job.LHID)},
+		}); e != nil {
+			a.node.PM.ReapRemote(sel.PM, job.LHID)
+		}
+		if err != nil {
+			return nil, err
+		}
 		return nil, sm.Err()
+	}
+	if guest == 1 && maxRestarts > 0 {
+		a.node.PM.Supervise(progmgr.SessionInfo{
+			LHID: job.LHID, PID: job.PID, Name: prog, Args: args,
+			Stdout: a.node.Display.PID(), MinMem: ExecMinMem,
+			HostPM: sel.PM, HostLH: sel.SystemLH, MaxRestarts: maxRestarts,
+		})
 	}
 	return job, nil
 }
@@ -166,25 +194,52 @@ func whereName(a *Agent, sel HostSel) string {
 	return "?"
 }
 
+// ErrTooManyMoves means a Wait followed more CodeMoved redirects than
+// WaitMaxMoves allows — a forwarding loop between managers rather than a
+// legitimately mobile program.
+var ErrTooManyMoves = errors.New("core: wait followed too many moves")
+
 // Wait blocks until the job exits, following the program across
-// migrations (a manager that migrated the program away answers with
-// CodeMoved and the new manager's pid).
+// migrations and supervised re-executions (a manager that no longer runs
+// the program answers CodeMoved with the new manager's pid and, when the
+// program was re-executed under a fresh identity, its new LHID). If the
+// current manager is unreachable, Wait falls back to the home manager,
+// which supervises the session. The redirect chain is capped at
+// params.WaitMaxMoves so a buggy or split-brain manager pair cannot
+// bounce a waiter forever.
 func (a *Agent) Wait(job *Job) (uint32, error) {
+	moves := 0
 	for {
 		m, err := a.ctx.Send(job.PM, vid.Message{
 			Op: progmgr.PmWaitProgram,
 			W:  [6]uint32{uint32(job.LHID)},
 		})
 		if err != nil {
+			if home := a.node.PM.PID(); job.PM != home {
+				job.PM = home
+				if moves++; moves > params.WaitMaxMoves {
+					return 0, ErrTooManyMoves
+				}
+				continue
+			}
 			return 0, err
 		}
 		if m.Code == progmgr.CodeMoved {
 			job.PM = vid.PID(m.W[1])
+			if nl := vid.LHID(m.W[2]); nl != 0 {
+				job.LHID = nl
+			}
+			if moves++; moves > params.WaitMaxMoves {
+				return 0, ErrTooManyMoves
+			}
 			continue
 		}
 		if !m.OK() {
 			return 0, m.Err()
 		}
+		// Tell the home supervisor the session is over (stops the lease
+		// heartbeat; a no-op for unsupervised jobs).
+		a.node.PM.NoteExited(job.LHID, m.W[0])
 		return m.W[0], nil
 	}
 }

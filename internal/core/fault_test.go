@@ -30,15 +30,20 @@ func TestDestCrashDuringPrecopySourceSurvives(t *testing.T) {
 			return
 		}
 		crashedMAC = ev.Host
-		// While the failed attempt times out (~5 s of retransmissions to
-		// the dead host), the original must be unfrozen, on the source,
-		// and still producing output.
-		c.Sim.After(1500*time.Millisecond, func() {
+		// While the failed attempt detects the dead destination (the
+		// failure detector condemns the station after ~1 s of station
+		// silence — five unanswered retransmissions — instead of the old
+		// ~5 s send abort) and waits out the 500 ms retry backoff, the
+		// original must be unfrozen, on the source, and still producing
+		// output. The retried migration re-freezes the source no earlier
+		// than abort (~1.0 s) + backoff (500 ms) after the crash, so both
+		// checks must land inside that ≈1.5 s recovery window.
+		c.Sim.After(1000*time.Millisecond, func() {
 			n, lh := c.FindProgram(job.LHID)
 			duringOK = n == c.Node(1) && lh != nil && !lh.Frozen()
 			linesAtCheck1 = len(c.Node(0).Display.Lines())
 		})
-		c.Sim.After(4500*time.Millisecond, func() {
+		c.Sim.After(1450*time.Millisecond, func() {
 			duringChecked = true
 			n, lh := c.FindProgram(job.LHID)
 			if n != c.Node(1) || lh == nil || lh.Frozen() {
@@ -114,10 +119,12 @@ func TestSourceCrashAfterSwapDestAdopts(t *testing.T) {
 			return
 		}
 		// The destination adopts only after probing the dead source:
-		// OrphanAdoptDelay (1 s) plus OrphanProbeAttempts unanswered
-		// probes at a full send abort (~5 s) each, ≈11 s in all. Past
-		// that window the program must be live and unfrozen on a host
-		// other than the dead source.
+		// OrphanAdoptDelay (1 s) plus the clock-enforced OrphanSilence
+		// window (≈10 s of continuous probe silence; the failure detector
+		// fails the probes fast, but the split-brain guard is a wall-clock
+		// window, not an abort count), ≈11 s in all. Past that window the
+		// program must be live and unfrozen on a host other than the dead
+		// source.
 		c.Sim.After(20*time.Second, func() {
 			adoptedChecked = true
 			n, lh := c.FindProgram(job.LHID)

@@ -276,6 +276,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	for _, as := range lh.Spaces() {
 		descs = append(descs, kernel.SpaceDesc{ID: as.ID, Size: as.Size()})
 	}
+	progArgs, progStdout := pm.ProgMeta(lh.ID())
 	initRep, err := ctx.Send(sel.PM, vid.Message{
 		Op: progmgr.PmInitMigration,
 		Seg: progmgr.EncodeInitReq(&progmgr.InitReq{
@@ -284,6 +285,8 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 			FinalLH: lh.ID(),
 			SrcLH:   host.SystemLH().ID(),
 			Spaces:  descs,
+			Args:    progArgs,
+			Stdout:  progStdout,
 		}),
 	})
 	if err != nil || !initRep.OK() {

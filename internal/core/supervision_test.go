@@ -1,0 +1,199 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/kernel"
+	"vsystem/internal/packet"
+	"vsystem/internal/progs"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// TestGuestCrashAutoReexec is the supervision layer's core guarantee: the
+// workstation hosting a remote execution is powered off mid-run, and the
+// home program manager detects the loss, re-executes the program from its
+// file-server image on another host, and the user observes nothing but a
+// completed job — the display shows every output line exactly once and
+// Wait returns the normal exit. Trace events and the supervisors' own
+// counters must agree.
+func TestGuestCrashAutoReexec(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 51})
+	c.Install(progs.Ticker(120))
+	c.Fault.CrashAfter(1500*time.Millisecond, c.Node(1).Host.NIC.MAC())
+
+	var job *Job
+	var code uint32
+	var execErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker120", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		code, waitErr = a.Wait(job)
+	})
+	c.Run(60 * time.Second)
+
+	if execErr != nil || waitErr != nil || code != 0 {
+		t.Fatalf("exec=%v wait=(%d,%v)", execErr, code, waitErr)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 120)
+	if got := c.Trace.Count(trace.EvExecRestart); got < 1 {
+		t.Fatalf("EvExecRestart count = %d, want >= 1", got)
+	}
+	views := c.Node(0).PM.Sessions()
+	if len(views) != 1 {
+		t.Fatalf("Sessions() = %d entries, want 1", len(views))
+	}
+	if v := views[0]; v.State != "done" || v.Incarnation < 2 || v.ExitCode != 0 {
+		t.Fatalf("session = %+v, want done at incarnation >= 2", v)
+	}
+
+	// Parity: every lease expiry and re-execution any supervisor counted
+	// must have been published to the trace bus, and vice versa.
+	var renews, expires, restarts int64
+	for i := 0; i < 4; i++ {
+		st := c.Node(i).PM.SupStats()
+		renews += st.LeaseRenews
+		expires += st.LeaseExpires
+		restarts += st.ExecRestarts
+	}
+	if renews == 0 {
+		t.Error("no lease renewals; the heartbeat never ran")
+	}
+	if got := c.Trace.Count(trace.EvLeaseExpire); got != expires {
+		t.Errorf("trace lease-expire events = %d, SupStats.LeaseExpires = %d", got, expires)
+	}
+	if got := c.Trace.Count(trace.EvExecRestart); got != restarts {
+		t.Errorf("trace exec-restart events = %d, SupStats.ExecRestarts = %d", got, restarts)
+	}
+}
+
+// TestRestartsExhaustedFailsSession: with only two workstations, losing
+// the hosting one leaves no recovery candidate (the home never re-executes
+// onto itself). The session must fail after its bounded attempts — the
+// waiter unblocks with an abort instead of hanging, and the user gets a
+// notification line.
+func TestRestartsExhaustedFailsSession(t *testing.T) {
+	c := boot(t, Options{Workstations: 2, Seed: 52})
+	c.Install(progs.Ticker(400))
+	c.Fault.CrashAfter(time.Second, c.Node(1).Host.NIC.MAC())
+
+	var execErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		var job *Job
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		_, waitErr = a.Wait(job)
+	})
+	c.Run(60 * time.Second)
+
+	if execErr != nil {
+		t.Fatalf("exec: %v", execErr)
+	}
+	ce, ok := waitErr.(vid.CodeError)
+	if !ok || uint16(ce) != vid.CodeAborted {
+		t.Fatalf("wait error = %v, want CodeAborted", waitErr)
+	}
+	views := c.Node(0).PM.Sessions()
+	if len(views) != 1 || views[0].State != "failed" {
+		t.Fatalf("session views = %+v, want one failed session", views)
+	}
+	notified := false
+	for _, ln := range c.Node(0).Display.Lines() {
+		if strings.Contains(ln, "giving up") {
+			notified = true
+		}
+	}
+	if !notified {
+		t.Fatal("no give-up notification on the home display")
+	}
+}
+
+// TestWaitBounceCapped is the forwarding-loop regression test: two
+// managers each claim the program moved to the other. A waiter following
+// the CodeMoved chain must give up after WaitMaxMoves instead of bouncing
+// forever.
+func TestWaitBounceCapped(t *testing.T) {
+	c := boot(t, Options{Workstations: 2, Seed: 53})
+	ghost := vid.LHID(0x02F0)
+	c.Node(0).PM.RecordMoved(ghost, c.Node(1).PM.PID(), ghost)
+	c.Node(1).PM.RecordMoved(ghost, c.Node(0).PM.PID(), ghost)
+
+	var waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, waitErr = a.Wait(&Job{Name: "ghost", LHID: ghost, PM: c.Node(0).PM.PID()})
+	})
+	c.Run(30 * time.Second)
+	if !errors.Is(waitErr, ErrTooManyMoves) {
+		t.Fatalf("wait error = %v, want ErrTooManyMoves", waitErr)
+	}
+}
+
+// TestExecStartFailureReapsLeak is the regression test for the create/start
+// window: the network partitions the home from the execution host at the
+// exact moment the start request is transmitted, so the environment was
+// created remotely but the program never starts and the inline destroy
+// cannot get through either. The home manager's retrying reaper must
+// destroy the stranded environment once the partition heals.
+func TestExecStartFailureReapsLeak(t *testing.T) {
+	c := boot(t, Options{Workstations: 3, Seed: 54})
+	c.Install(progs.Ticker(400))
+	homeMAC := uint16(c.Node(0).Host.NIC.MAC())
+
+	cut := false
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if cut || ev.Host != homeMAC || ev.Kind != trace.EvPktTx {
+			return
+		}
+		if p := ev.Pkt; p != nil && p.Kind == packet.KRequest && p.Msg.Op == kernel.KsStartProcess {
+			cut = true
+			c.Fault.Partition(
+				[]ethernet.MAC{c.Node(0).Host.NIC.MAC()},
+				[]ethernet.MAC{c.Node(1).Host.NIC.MAC()})
+		}
+	})
+	c.Sim.After(4*time.Second, func() { c.Fault.Heal() })
+
+	var execErr error
+	c.Node(0).Agent(func(a *Agent) {
+		_, execErr = a.Exec("ticker400", nil, "ws1")
+	})
+
+	// A third-party observer (unaffected by the cut) watches the stranded
+	// environment appear and then get reaped.
+	var psDuring, psAfter string
+	var psErr error
+	c.Node(2).Agent(func(a *Agent) {
+		a.Sleep(3 * time.Second)
+		psDuring, psErr = a.PS(c.Node(1))
+		if psErr != nil {
+			return
+		}
+		a.Sleep(12 * time.Second)
+		psAfter, psErr = a.PS(c.Node(1))
+	})
+	c.Run(30 * time.Second)
+
+	if !cut {
+		t.Fatal("start request never observed; trigger premise broken")
+	}
+	if execErr == nil {
+		t.Fatal("Exec succeeded though the start leg was partitioned")
+	}
+	if psErr != nil {
+		t.Fatalf("observer ps: %v", psErr)
+	}
+	if !strings.Contains(psDuring, "ticker400") {
+		t.Fatalf("stranded environment not visible during partition:\n%s", psDuring)
+	}
+	if strings.Contains(psAfter, "ticker400") {
+		t.Fatalf("environment leaked after heal — reaper never destroyed it:\n%s", psAfter)
+	}
+}

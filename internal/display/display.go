@@ -23,6 +23,15 @@ const OpWriteLine = vvm.OpWriteLine
 // OpReadBack returns the captured display contents (tools only).
 const OpReadBack uint16 = 0x71
 
+// OpAdopt is the session supervisor's incarnation hand-over notice:
+// W0 = the superseded logical host, W1 = its successor. A re-executed
+// program replays its output from the start, so the display counts the
+// lines each source already delivered and suppresses the successor's
+// replay up to that point — the user-visible stream stays exactly-once
+// per logical line. Lines from a superseded source (a stale incarnation
+// still running across a partition heal) are dropped outright.
+const OpAdopt uint16 = 0x72
+
 // drawCPU is the cost of rendering one output line.
 const drawCPU = 2 * time.Millisecond
 
@@ -30,11 +39,19 @@ const drawCPU = 2 * time.Millisecond
 type Server struct {
 	proc  *kernel.Process
 	lines []string
+
+	got        map[vid.LHID]int // lines delivered per source logical host
+	lead       map[vid.LHID]int // lines a successor must replay silently
+	superseded map[vid.LHID]bool
 }
 
 // Start spawns the display server on a host.
 func Start(h *kernel.Host) *Server {
-	s := &Server{}
+	s := &Server{
+		got:        make(map[vid.LHID]int),
+		lead:       make(map[vid.LHID]int),
+		superseded: make(map[vid.LHID]bool),
+	}
 	s.proc = h.SpawnServer("display", 32*1024, s.run)
 	return s
 }
@@ -51,9 +68,37 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 		req := ctx.Receive()
 		switch req.Msg.Op {
 		case OpWriteLine:
+			src := req.Src.LH()
+			if s.superseded[src] {
+				// A stale incarnation: acknowledge (the writer must not
+				// hang) but keep its output off the stream.
+				ctx.Reply(req, vid.Message{Op: OpWriteLine})
+				continue
+			}
+			s.got[src]++
+			if s.got[src] <= s.lead[src] {
+				// Replay of a line a previous incarnation already
+				// delivered: suppress it.
+				ctx.Reply(req, vid.Message{Op: OpWriteLine})
+				continue
+			}
 			ctx.Compute(drawCPU)
 			s.lines = append(s.lines, string(req.Msg.Seg))
 			ctx.Reply(req, vid.Message{Op: OpWriteLine})
+		case OpAdopt:
+			old, next := vid.LHID(req.Msg.W[0]), vid.LHID(req.Msg.W[1])
+			// Logical lines delivered so far through the old chain: the old
+			// source's own count, unless it never got past replaying its
+			// inherited prefix.
+			lead := s.got[old]
+			if s.lead[old] > lead {
+				lead = s.lead[old]
+			}
+			if lead > s.lead[next] {
+				s.lead[next] = lead
+			}
+			s.superseded[old] = true
+			ctx.Reply(req, vid.Message{Op: OpAdopt})
 		case OpReadBack:
 			var seg []byte
 			for _, l := range s.lines {

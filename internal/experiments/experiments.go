@@ -96,6 +96,7 @@ func All(seed int64) []*Result {
 		MigrationUnderLoss(seed),
 		PrecopyRounds(seed),
 		FaultSweep(seed),
+		GuestCrash(seed),
 	}
 }
 
@@ -118,6 +119,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"migration-loss":    MigrationUnderLoss,
 		"precopy-rounds":    PrecopyRounds,
 		"fault-sweep":       FaultSweep,
+		"guest-crash":       GuestCrash,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -129,7 +131,7 @@ func Names() []string {
 		"remote-exec", "copy-costs", "dirty-rates", "precopy", "overheads",
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "select-policy",
-		"migration-loss", "precopy-rounds", "fault-sweep",
+		"migration-loss", "precopy-rounds", "fault-sweep", "guest-crash",
 	}
 }
 

@@ -29,6 +29,8 @@ func TestE8SelectionScaling(t *testing.T)     { runExp(t, SelectionScaling) }
 func TestE9SelectionPolicies(t *testing.T)    { runExp(t, SelectionPolicies) }
 func TestA4MigrationUnderLoss(t *testing.T)   { runExp(t, MigrationUnderLoss) }
 func TestA5PrecopyRounds(t *testing.T)        { runExp(t, PrecopyRounds) }
+func TestF1FaultSweep(t *testing.T)           { runExp(t, FaultSweep) }
+func TestF2GuestCrash(t *testing.T)           { runExp(t, GuestCrash) }
 
 func TestE6SpaceCost(t *testing.T) {
 	r := SpaceCost("../..") // repo root relative to this package

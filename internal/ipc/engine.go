@@ -24,6 +24,7 @@ package ipc
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vsystem/internal/cpu"
@@ -80,6 +81,12 @@ type Stats struct {
 	BindingMisses        int64
 	BindingInvalidations int64
 	BindingEvictions     int64
+
+	// Failure-detector activity: stations this engine started suspecting
+	// (params.SuspectAfterRetries unanswered retransmissions of a single
+	// transaction) and suspicions cleared by evidence of life.
+	HostSuspects int64
+	HostClears   int64
 }
 
 // Engine is the per-host IPC engine.
@@ -96,6 +103,8 @@ type Engine struct {
 	reasm    map[reasmKey]*reasmBuf
 	txBuf    map[reasmKey]*fragSource
 	forward  map[vid.LHID]ethernet.MAC
+	suspects map[ethernet.MAC]sim.Time // station → when suspicion began
+	heard    map[ethernet.MAC]sim.Time // station → last packet received from it
 	stats    Stats
 	trace    *trace.Bus       // nil until wired; nil bus is a no-op target
 	down     bool             // crashed host: frames drop, queued work is discarded
@@ -162,6 +171,8 @@ func New(se *sim.Engine, nic *ethernet.NIC, c *cpu.CPU, res Resolver) *Engine {
 		reasm:            make(map[reasmKey]*reasmBuf),
 		txBuf:            make(map[reasmKey]*fragSource),
 		forward:          make(map[vid.LHID]ethernet.MAC),
+		suspects:         make(map[ethernet.MAC]sim.Time),
+		heard:            make(map[ethernet.MAC]sim.Time),
 		GroupIndirection: true,
 	}
 	nic.SetRecv(func(f ethernet.Frame) {
@@ -197,6 +208,8 @@ func (e *Engine) Reset() {
 	e.reasm = make(map[reasmKey]*reasmBuf)
 	e.txBuf = make(map[reasmKey]*fragSource)
 	e.forward = make(map[vid.LHID]ethernet.MAC)
+	e.suspects = make(map[ethernet.MAC]sim.Time)
+	e.heard = make(map[ethernet.MAC]sim.Time)
 }
 
 // Sim returns the simulation engine.
@@ -460,6 +473,12 @@ func (e *Engine) recvFrame(t *sim.Task, f ethernet.Frame) {
 
 // dispatch routes a decoded packet (from the wire or delivered locally).
 func (e *Engine) dispatch(t *sim.Task, p *packet.Packet, from ethernet.MAC) {
+	// Any packet from a station is evidence of life: it vetoes suspicion
+	// formation (noteSilence) and retracts a standing suspicion.
+	if from != e.nic.MAC() {
+		e.heard[from] = e.sim.Now()
+		e.clearSuspicion(from)
+	}
 	// Learn bindings from incoming traffic (§3.1.4: "the cache is also
 	// updated based on incoming requests").
 	if from != e.nic.MAC() && p.Src != vid.Nil && !p.Src.IsGroup() && !e.res.LHResident(p.Src.LH()) {
@@ -728,6 +747,98 @@ func (e *Engine) route(dst vid.PID) (mac ethernet.MAC, local, ok bool) {
 	})
 	e.emit(&packet.Packet{Kind: packet.KLocateReq, LH: lh}, ethernet.Broadcast)
 	return 0, false, false
+}
+
+// ------------------------------------------------------- failure detector
+//
+// The engine keeps a per-station suspicion table fed by the evidence the
+// retransmission machinery already produces: SuspectAfterRetries consecutive
+// unanswered retransmissions of any single transaction condemn the whole
+// station, failing every in-flight transaction to it fast (CodeHostDown)
+// instead of letting each ride out its own ~5 s abort. Reply-pending packets
+// reset a transaction's silence, and *any* packet from the station — replies,
+// requests, locate responses, a rebooted host's announcements — clears the
+// suspicion (§3.1.3's "evidence of life", generalized host-wide).
+
+// Suspected reports whether the station is currently suspected dead.
+func (e *Engine) Suspected(mac ethernet.MAC) bool {
+	_, bad := e.suspects[mac]
+	return bad
+}
+
+// Suspects returns the currently suspected stations in ascending order.
+func (e *Engine) Suspects() []ethernet.MAC {
+	out := make([]ethernet.MAC, 0, len(e.suspects))
+	for mac := range e.suspects {
+		out = append(out, mac)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// noteSilence is called by a send transaction's retransmission tick after
+// another interval passed with no evidence of life. It returns true when the
+// transaction was failed (the station is — or just became — suspected).
+func (e *Engine) noteSilence(p *Port, s *sendTxn) bool {
+	if _, bad := e.suspects[s.mac]; bad {
+		// Already suspected: the transaction's initial transmission doubled
+		// as a liveness probe; one interval of silence is enough.
+		p.failSend(s.txid, vid.CodeHostDown)
+		return true
+	}
+	if s.silent < params.SuspectAfterRetries {
+		return false
+	}
+	// One starved transaction is not enough: the whole *station* must have
+	// been silent for the suspicion window. Traffic it sent to anyone on
+	// this host — replies to other processes, duplicate-reply traffic for a
+	// frozen logical host, locate responses — vetoes the verdict, which
+	// also keeps a lossy (but live) link from condemning a healthy peer.
+	window := time.Duration(params.SuspectAfterRetries) * params.RetransmitInterval
+	lastAlive := s.lastAlive
+	if heard, ok := e.heard[s.mac]; ok && heard > lastAlive {
+		lastAlive = heard
+	}
+	if e.sim.Now().Sub(lastAlive) < window {
+		return false
+	}
+	e.suspectStation(s.mac, lastAlive)
+	return true
+}
+
+// suspectStation condemns a station and fails every in-flight transaction
+// addressed to it. The published event's Size carries the detection latency
+// (silence since the witnessing transaction's last evidence of life) in
+// microseconds.
+func (e *Engine) suspectStation(mac ethernet.MAC, lastAlive sim.Time) {
+	if _, dup := e.suspects[mac]; dup {
+		return
+	}
+	now := e.sim.Now()
+	e.suspects[mac] = now
+	e.stats.HostSuspects++
+	e.trace.Publish(trace.Event{
+		At: now, Host: uint16(e.nic.MAC()), Kind: trace.EvHostSuspect,
+		Peer: uint16(mac), Size: int(now.Sub(lastAlive) / time.Microsecond),
+	})
+	for _, port := range e.portList {
+		if s := port.send; s != nil && !s.done && !s.gather && s.mac == mac {
+			port.failSend(s.txid, vid.CodeHostDown)
+		}
+	}
+}
+
+// clearSuspicion retracts a standing suspicion on evidence of life.
+func (e *Engine) clearSuspicion(mac ethernet.MAC) {
+	if _, bad := e.suspects[mac]; !bad {
+		return
+	}
+	delete(e.suspects, mac)
+	e.stats.HostClears++
+	e.trace.Publish(trace.Event{
+		At: e.sim.Now(), Host: uint16(e.nic.MAC()), Kind: trace.EvHostClear,
+		Peer: uint16(mac),
+	})
 }
 
 // SetForward installs a forwarding address for a migrated-away logical

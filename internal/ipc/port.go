@@ -49,6 +49,12 @@ type sendTxn struct {
 	silent int    // retransmissions since last evidence of life
 	timer  *sim.Timer
 
+	// Failure-detector evidence: the station the request was last
+	// transmitted to (0 until a unicast route resolved) and the last
+	// moment the transaction had evidence the destination was alive.
+	mac       ethernet.MAC
+	lastAlive sim.Time
+
 	// Gather mode (StartGather): collect every reply that arrives within
 	// the window instead of completing on the first one.
 	gather  bool
@@ -142,7 +148,7 @@ func (p *Port) StartSend(t *sim.Task, dst vid.PID, msg vid.Message) {
 		panic(fmt.Sprintf("ipc: segment %d exceeds SegMax", len(msg.Seg)))
 	}
 	p.txSeq++
-	s := &sendTxn{txid: p.txSeq, dst: dst, msg: msg, group: dst.IsGroup()}
+	s := &sendTxn{txid: p.txSeq, dst: dst, msg: msg, group: dst.IsGroup(), lastAlive: t.Now()}
 	p.send = s
 	p.transmitOn(t, false)
 	p.armTimer()
@@ -169,7 +175,7 @@ func (p *Port) StartGather(t *sim.Task, dst vid.PID, msg vid.Message, window tim
 	}
 	p.txSeq++
 	s := &sendTxn{
-		txid: p.txSeq, dst: dst, msg: msg,
+		txid: p.txSeq, dst: dst, msg: msg, lastAlive: t.Now(),
 		group: dst.IsGroup(), gather: true, seen: make(map[vid.PID]bool),
 	}
 	p.send = s
@@ -234,6 +240,11 @@ func (p *Port) tick(s *sendTxn) {
 		return
 	}
 	s.silent++
+	if !s.group && !s.gather && s.mac != 0 && p.eng.noteSilence(p, s) {
+		// The destination's station is suspected dead: the transaction was
+		// failed fast with CodeHostDown instead of riding out the abort.
+		return
+	}
 	limit := params.AbortAfterRetries
 	if s.group {
 		limit = params.GroupAbortAfterRetries
@@ -288,6 +299,11 @@ func (p *Port) transmitOn(t *sim.Task, retrans bool) {
 		p.eng.emitLocal(&local)
 		return
 	}
+	// s.mac keeps the last station actually transmitted to. It survives a
+	// route() miss on purpose: after LocateAfterRetries the binding is
+	// invalidated, and continued silence must still condemn the station we
+	// were talking to. A transaction that never resolved a route keeps
+	// mac == 0 and can only abort by timeout ("unlocated" is not "dead").
 	mac, local, ok := p.eng.route(s.dst)
 	if !ok {
 		return // locate broadcast in flight; retry on next tick
@@ -297,6 +313,7 @@ func (p *Port) transmitOn(t *sim.Task, retrans bool) {
 		p.eng.emitLocal(&cp)
 		return
 	}
+	s.mac = mac
 	key := reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest}
 	if fs := p.eng.txBuf[key]; fs != nil && retrans {
 		fs.dst = mac
@@ -382,6 +399,7 @@ func (p *Port) failSend(txid uint32, code uint16) {
 func (p *Port) notePending(txid uint32) {
 	if s := p.send; s != nil && !s.done && s.txid == txid && !s.group && !s.gather {
 		s.silent = 0
+		s.lastAlive = p.eng.sim.Now()
 	}
 }
 

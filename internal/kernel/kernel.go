@@ -97,6 +97,10 @@ func NewHost(eng *sim.Engine, bus *ethernet.Bus, index int, name string) *Host {
 	return h
 }
 
+// Trace returns the host's trace bus (nil until AttachTrace — a nil bus
+// is a valid no-op publish target).
+func (h *Host) Trace() *trace.Bus { return h.trace }
+
 // AttachTrace wires the host's kernel, IPC engine, and CPU scheduler to
 // the cluster's trace bus. Call once, right after NewHost; a nil bus
 // detaches everything.

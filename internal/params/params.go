@@ -275,6 +275,42 @@ const (
 	// by timeout.
 	OrphanProbeAttempts = 2
 
+	// OrphanSilence is the continuous probe-silence window orphan adoption
+	// waits out before presuming the source dead. Historically this was
+	// OrphanProbeAttempts full send aborts; with the failure detector
+	// failing probes fast (CodeHostDown after SuspectAfterRetries ticks)
+	// the window is enforced by the clock instead of by counting aborts,
+	// preserving the ≈10 s split-brain guard.
+	OrphanSilence = OrphanProbeAttempts * AbortAfterRetries * RetransmitInterval
+
+	// SuspectAfterRetries: after this many consecutive unanswered
+	// retransmissions of any single transaction to a station, the failure
+	// detector suspects the whole station and fails every in-flight
+	// transaction to it with CodeHostDown (detection ≈ 1 s versus the ~5 s
+	// individual send abort). Reply-pending packets and any other traffic
+	// from the station reset the evidence.
+	SuspectAfterRetries = 5
+
+	// LeaseInterval is the heartbeat period of the exec-session lease the
+	// originating program manager exchanges with the hosting program
+	// manager for every supervised remote job.
+	LeaseInterval = 1 * time.Second
+
+	// ExecMaxRestarts bounds how many times a supervised session is
+	// re-executed from its file-server image after its hosting workstation
+	// is lost.
+	ExecMaxRestarts = 2
+
+	// ExecRestartBackoff is the delay before a failed recovery attempt is
+	// retried, doubled per accumulated restart.
+	ExecRestartBackoff = 500 * time.Millisecond
+
+	// WaitMaxMoves caps how many CodeMoved redirects (or transport-error
+	// retargets to the home manager) a single Wait follows before giving
+	// up, so a buggy or split-brain manager pair cannot bounce a waiter
+	// forever.
+	WaitMaxMoves = 8
+
 	// ReceptacleTTL is the *inactivity* bound on an incoming migration
 	// receptacle that never assumed its final identity: if no state writes
 	// (page runs, kernel state) arrive for this long, the source is

@@ -17,6 +17,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,6 +26,8 @@ import (
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
 	"vsystem/internal/sched"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 	"vsystem/internal/vvm"
 )
@@ -69,6 +72,19 @@ const (
 	PmSuspendProgram
 	// PmResumeProgram: W0=LHID — unfreeze a suspended program.
 	PmResumeProgram
+	// PmRenewLease: the originating manager's session heartbeat.
+	// W0=LHID → W1=1 (running, lease renewed) or W1=2 (exited, W2=exit
+	// code); CodeMoved with W1=new manager pid and W2=new LHID (0: LHID
+	// unchanged) when the program moved; CodeNotFound when this manager
+	// knows nothing of it.
+	PmRenewLease
+	// PmLocateProgram: group query during session recovery — W0=LHID.
+	// Only the manager currently *running* the program (not an incoming
+	// receptacle) replies, with W0=its system LH and W5=its pid; every
+	// other manager stays silent so the first group reply is
+	// authoritative. This is the double-execution guard: a supervisor
+	// never re-executes a program some host still runs.
+	PmLocateProgram
 )
 
 // CodeMoved is the WaitProgram reply code when the program migrated; W1
@@ -87,6 +103,11 @@ type InitReq struct {
 	FinalLH vid.LHID
 	SrcLH   vid.LHID
 	Spaces  []kernel.SpaceDesc
+	// Args and Stdout travel with the program so the receiving manager
+	// can re-execute it from its file-server image if it must later be
+	// evicted and no host will accept a migration.
+	Args   []string
+	Stdout vid.PID
 }
 
 // EncodeInitReq serializes an InitReq.
@@ -126,10 +147,20 @@ type PhaseTagged interface {
 type progInfo struct {
 	lh       *kernel.LogicalHost
 	name     string
+	args     []string
+	stdout   vid.PID
 	guest    bool
 	incoming bool     // migration receptacle, not yet assumed
 	srcLH    vid.LHID // migration source's system LH (incoming only)
 	waiters  []*ipc.Req
+}
+
+// movedTo records where a program this manager used to run went, so late
+// waiters and lease renewals can be redirected instead of answered
+// not-found.
+type movedTo struct {
+	pm vid.PID
+	lh vid.LHID // LHID after the move (== old id for migration)
 }
 
 // PM is one workstation's program manager.
@@ -137,9 +168,13 @@ type PM struct {
 	host     *kernel.Host
 	proc     *kernel.Process
 	Migrator Migrator
+	// Selector, when wired (by core), runs host selection for session
+	// recovery and eviction re-execution.
+	Selector *sched.Selector
 
 	progs  map[vid.LHID]*progInfo
-	exited map[vid.LHID]uint32 // recently exited: exit codes for late waiters
+	exited map[vid.LHID]uint32  // recently exited: exit codes for late waiters
+	moved  map[vid.LHID]movedTo // migrated or re-executed away
 
 	reaper   *kernel.Process
 	exits    []*kernel.LogicalHost
@@ -148,16 +183,22 @@ type PM struct {
 	adoptQ   []*adoptJob
 	adopter  *kernel.Process
 
+	sessions map[vid.LHID]*session // supervised remote jobs, by original LHID
+	alias    map[vid.LHID]vid.LHID // later incarnations' LHIDs → original
+	reapQ    []*reapJob            // remote programs to destroy, with retry
+	sup      SupStats
+	lease    *kernel.Process
+
 	fsPID vid.PID // cached file-server pid
 }
 
 // adoptJob is one orphan-adoption candidate: an incoming copy that assumed
 // its final identity but whose source has not finished the hand-over.
 type adoptJob struct {
-	final  vid.LHID
-	lh     *kernel.LogicalHost
-	srcLH  vid.LHID
-	silent int // consecutive probes of the source that went unanswered
+	final       vid.LHID
+	lh          *kernel.LogicalHost
+	srcLH       vid.LHID
+	silentSince sim.Time // start of the current probe-silence run (0: none)
 }
 
 type migrateJob struct {
@@ -169,9 +210,12 @@ type migrateJob struct {
 // Start spawns the program manager on a host.
 func Start(h *kernel.Host) *PM {
 	pm := &PM{
-		host:   h,
-		progs:  make(map[vid.LHID]*progInfo),
-		exited: make(map[vid.LHID]uint32),
+		host:     h,
+		progs:    make(map[vid.LHID]*progInfo),
+		exited:   make(map[vid.LHID]uint32),
+		moved:    make(map[vid.LHID]movedTo),
+		sessions: make(map[vid.LHID]*session),
+		alias:    make(map[vid.LHID]vid.LHID),
 	}
 	pm.proc = h.SpawnServer("progmgr", 64*1024, pm.run)
 	h.RegisterWellKnown(vid.IdxProgramManager, pm.proc.PID())
@@ -181,6 +225,7 @@ func Start(h *kernel.Host) *PM {
 	pm.reaper = h.SpawnServer("pm-reaper", 4096, pm.reap)
 	pm.worker = h.SpawnServer("pm-migrate", 16*1024, pm.migrateLoop)
 	pm.adopter = h.SpawnServer("pm-adopt", 8*1024, pm.adoptLoop)
+	pm.lease = h.SpawnServer("pm-lease", 16*1024, pm.leaseLoop)
 	return pm
 }
 
@@ -189,6 +234,16 @@ func (pm *PM) PID() vid.PID { return pm.proc.PID() }
 
 // Host returns the managed workstation.
 func (pm *PM) Host() *kernel.Host { return pm.host }
+
+// ProgMeta returns a tracked program's invocation metadata (arguments and
+// output sink) so the migration engine can forward it to the receiving
+// manager.
+func (pm *PM) ProgMeta(lhid vid.LHID) (args []string, stdout vid.PID) {
+	if pi := pm.progs[lhid]; pi != nil {
+		return pi.args, pi.stdout
+	}
+	return nil, vid.Nil
+}
 
 // Programs returns the LHIDs of programs this manager tracks (excluding
 // incoming receptacles).
@@ -287,6 +342,21 @@ func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
 			}
 			return vid.Message{Op: PmMigrateProgram, W: [6]uint32{1}}
 		}
+		if job.req == nil && pm.reexecElsewhere(ctx, job.lhid, pi) {
+			// Eviction (owner-returns) that could not migrate: the guest
+			// was re-executed from its image on another host instead.
+			return vid.Message{Op: PmMigrateProgram, W: [6]uint32{2}}
+		}
+		if job.req == nil {
+			// Last resort for an eviction: suspend the guest and tell its
+			// owner, rather than leaving it consuming the workstation.
+			pm.host.Freeze(pi.lh)
+			if pi.stdout != vid.Nil {
+				ctx.Send(pi.stdout, vid.Message{Op: vvm.OpWriteLine, Seg: []byte(
+					fmt.Sprintf("[progmgr %s] %s: eviction found no host; suspended", pm.host.Name, pi.name)),
+				})
+			}
+		}
 		reply := vid.ErrMsg(vid.CodeRefused)
 		var pt PhaseTagged
 		if errors.As(err, &pt) {
@@ -295,12 +365,87 @@ func (pm *PM) doMigrate(ctx *kernel.ProcCtx, job *migrateJob) vid.Message {
 		return reply
 	}
 	// The program now belongs to the new host's manager: release local
-	// bookkeeping and redirect waiters.
+	// bookkeeping, leave a forwarding record, and redirect waiters.
 	delete(pm.progs, job.lhid)
+	pm.RecordMoved(job.lhid, newPM, job.lhid)
 	for _, w := range pi.waiters {
 		pm.replyAsPM(ctx, w, vid.Message{Op: PmWaitProgram, Code: CodeMoved, W: [6]uint32{0, uint32(newPM)}})
 	}
 	return vid.Message{Op: PmMigrateProgram, Seg: report}
+}
+
+// RecordMoved notes that a program this manager used to run is now with
+// another manager (migration or eviction re-execution); late waiters and
+// lease renewals are redirected there with CodeMoved.
+func (pm *PM) RecordMoved(lhid vid.LHID, newPM vid.PID, newLH vid.LHID) {
+	pm.moved[lhid] = movedTo{pm: newPM, lh: newLH}
+}
+
+// movedReply builds the CodeMoved redirect for a waiter or lease renewal
+// that asked about lhid: W1 = the responsible manager, W2 = the program's
+// LHID there (0 when unchanged).
+func movedReply(op uint16, lhid vid.LHID, mv movedTo) vid.Message {
+	w2 := uint32(0)
+	if mv.lh != 0 && mv.lh != lhid {
+		w2 = uint32(mv.lh)
+	}
+	return vid.Message{Op: op, Code: CodeMoved, W: [6]uint32{0, uint32(mv.pm), w2}}
+}
+
+// reexecElsewhere re-executes an evicted guest from its file-server image
+// on a freshly selected host — the supervision fallback when migration
+// cannot find a receptacle but the owner wants the guest gone. The old
+// copy's partial state is lost (the program restarts), but its output is
+// deduplicated by the display server via the adoption notice, so the
+// stream the user sees stays exactly-once.
+func (pm *PM) reexecElsewhere(ctx *kernel.ProcCtx, lhid vid.LHID, pi *progInfo) bool {
+	if pm.Selector == nil || pi.name == "" {
+		return false
+	}
+	minMem := pi.lh.MemUsed()
+	if minMem < 256*1024 {
+		minMem = 256 * 1024
+	}
+	l, err := pm.Selector.Select(ctx, minMem, pm.host.SystemLH().ID())
+	if err != nil {
+		return false
+	}
+	seg := []byte(strings.Join(append([]string{pi.name}, pi.args...), "\x00"))
+	cm, err := ctx.Send(l.PM, vid.Message{
+		Op: PmCreateProgram, W: [6]uint32{uint32(pi.stdout), 1}, Seg: seg,
+	})
+	if err != nil || !cm.OK() {
+		return false
+	}
+	newPID, newLH := vid.PID(cm.W[0]), vid.LHID(cm.W[1])
+	if pi.stdout != vid.Nil {
+		// Tell the output sink about the incarnation change before the new
+		// copy can emit a line, so replayed output is suppressed.
+		ctx.Send(pi.stdout, vid.Message{Op: supOpAdopt, W: [6]uint32{uint32(lhid), uint32(newLH)}})
+	}
+	sm, err := ctx.Send(kernel.KernelServerPID(newLH), vid.Message{
+		Op: kernel.KsStartProcess, W: [6]uint32{uint32(newPID)},
+	})
+	if err != nil || !sm.OK() {
+		if _, e := ctx.Send(l.PM, vid.Message{
+			Op: PmDestroyProgram, W: [6]uint32{uint32(newLH)},
+		}); e != nil {
+			pm.ReapRemote(l.PM, newLH)
+		}
+		return false
+	}
+	pm.host.DestroyLH(pi.lh)
+	delete(pm.progs, lhid)
+	pm.RecordMoved(lhid, l.PM, newLH)
+	pm.sup.ExecRestarts++
+	pm.host.Trace().Publish(trace.Event{
+		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvExecRestart,
+		LH: newLH, Peer: uint16(l.SystemLH >> 8),
+	})
+	for _, w := range pi.waiters {
+		pm.replyAsPM(ctx, w, movedReply(PmWaitProgram, lhid, movedTo{pm: l.PM, lh: newLH}))
+	}
+	return true
 }
 
 // run is the program manager's main service loop.
@@ -363,7 +508,55 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 				ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{code}})
 				continue
 			}
+			if mv, ok := pm.moved[lhid]; ok {
+				ctx.Reply(req, movedReply(m.Op, lhid, mv))
+				continue
+			}
+			if s := pm.sessionFor(lhid); s != nil {
+				// This manager supervises the job: redirect the waiter to
+				// the hosting manager, or — while the session is broken —
+				// hold the waiter until recovery resolves it, so a waiter
+				// cannot bounce between managers during a fail-over.
+				switch s.state {
+				case sessionActive:
+					ctx.Reply(req, movedReply(m.Op, lhid, movedTo{pm: s.hostPM, lh: s.cur}))
+				case sessionDone:
+					ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{s.exitCode}})
+				case sessionFailed:
+					ctx.Reply(req, vid.Message{Op: m.Op, Code: vid.CodeAborted})
+				default: // broken: deferred until recovery resolves
+					s.waiters = append(s.waiters, req)
+				}
+				continue
+			}
 			ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+
+		case PmRenewLease:
+			lhid := vid.LHID(m.W[0])
+			if pm.progs[lhid] != nil {
+				// Running here (an incoming receptacle also renews: the
+				// program is mid-migration, not lost).
+				ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{0, 1}})
+				continue
+			}
+			if mv, ok := pm.moved[lhid]; ok {
+				ctx.Reply(req, movedReply(m.Op, lhid, mv))
+				continue
+			}
+			if code, ok := pm.exited[lhid]; ok {
+				ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{0, 2, code}})
+				continue
+			}
+			ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+
+		case PmLocateProgram:
+			if pi := pm.progs[vid.LHID(m.W[0])]; pi != nil && !pi.incoming {
+				ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
+					uint32(pm.host.SystemLH().ID()), 0, 0, 0, 0, uint32(pm.PID()),
+				}})
+				continue
+			}
+			port.Drop(req) // silence: only the running host may answer
 
 		case PmMigrateProgram:
 			lhid := vid.LHID(m.W[0])
@@ -499,7 +692,7 @@ func (pm *PM) createProgram(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 	as.ClearDirty()
 
 	p := lh.NewProcess(as.ID, img.Kind, kernel.Regs{})
-	pm.progs[lh.ID()] = &progInfo{lh: lh, name: progName, guest: guest}
+	pm.progs[lh.ID()] = &progInfo{lh: lh, name: progName, args: args, stdout: stdout, guest: guest}
 	return vid.Message{Op: PmCreateProgram, W: [6]uint32{uint32(p.PID()), uint32(lh.ID())}}
 }
 
@@ -576,7 +769,8 @@ func (pm *PM) initMigration(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 	}
 	pm.host.Freeze(lh)
 	pm.progs[req.FinalLH] = &progInfo{
-		lh: lh, name: req.Name, guest: req.Guest, incoming: true, srcLH: req.SrcLH,
+		lh: lh, name: req.Name, args: req.Args, stdout: req.Stdout,
+		guest: req.Guest, incoming: true, srcLH: req.SrcLH,
 	}
 	// A receptacle whose source dies mid-copy never assumes its final
 	// identity; garbage-collect it once the transfer goes idle so it
@@ -665,9 +859,12 @@ func (pm *PM) adoptLoop(ctx *kernel.ProcCtx) {
 //   - source answers "not resident": the source finished (its unfreeze or
 //     assume messages were lost) or rebooted (the original died with it) —
 //     adopt;
-//   - no answer for OrphanProbeAttempts consecutive send aborts (≈10 s of
-//     silence, comfortably beyond the source's own ~5 s abort): presume the
-//     source dead — adopt.
+//   - no answer for a continuous OrphanSilence window (≈10 s, comfortably
+//     beyond the source's own send abort): presume the source dead — adopt.
+//     The window is enforced by the clock, not by counting probe failures:
+//     the failure detector fails probes to a suspected station within a
+//     retransmission tick, so counting aborts would collapse the guard to
+//     well under a second.
 func (pm *PM) checkOrphan(ctx *kernel.ProcCtx, job *adoptJob) {
 	live := func() bool {
 		pi := pm.progs[job.final]
@@ -690,7 +887,7 @@ func (pm *PM) checkOrphan(ctx *kernel.ProcCtx, job *adoptJob) {
 		switch {
 		case err == nil && m.OK() && m.W[3] != 0:
 			// Original still frozen at the source: migration in flight.
-			job.silent = 0
+			job.silentSince = 0
 			pm.host.Eng.After(params.OrphanAdoptDelay, func() {
 				pm.adoptQ = append(pm.adoptQ, job)
 			})
@@ -702,9 +899,16 @@ func (pm *PM) checkOrphan(ctx *kernel.ProcCtx, job *adoptJob) {
 			delete(pm.progs, job.final)
 			return
 		case err != nil:
-			job.silent++
-			if job.silent < params.OrphanProbeAttempts {
-				pm.adoptQ = append(pm.adoptQ, job) // re-probe: each pass is a full abort of silence
+			if job.silentSince == 0 {
+				job.silentSince = ctx.Now()
+			}
+			if ctx.Now().Sub(job.silentSince) < params.OrphanSilence {
+				// Still inside the split-brain guard window: probe again
+				// after a delay (probes to a suspected station fail in a
+				// tick, so pace them rather than spinning).
+				pm.host.Eng.After(params.OrphanAdoptDelay, func() {
+					pm.adoptQ = append(pm.adoptQ, job)
+				})
 				return
 			}
 			// Prolonged silence: presume the source dead and adopt.
@@ -738,3 +942,418 @@ func (pm *PM) AssumeIncoming(final vid.LHID) {
 // pollInterval is how often the reaper and migration worker check their
 // queues when idle.
 const pollInterval = 10 * time.Millisecond
+
+// ---------------------------------------------------------------------------
+// Exec-session supervision: leases and automatic guest recovery.
+//
+// The paper's stance on residual dependencies (§2.3) is that a remotely
+// executed program should depend only on its home environment, so losing
+// the hosting workstation should be no worse for the *user* than losing a
+// local program. The supervisor closes that loop: the originating program
+// manager keeps a session record per remote job, heartbeats the hosting
+// manager with PmRenewLease, and on lease loss re-executes the program
+// from its file-server image on a freshly selected host, with bounded
+// attempts. Output is deduplicated by the display server (the session's
+// one home-bound dependency), so the user-visible stream is exactly-once.
+
+// Session states.
+type sessionState uint8
+
+const (
+	sessionActive sessionState = iota
+	sessionBroken
+	sessionDone
+	sessionFailed
+)
+
+func (s sessionState) String() string {
+	switch s {
+	case sessionActive:
+		return "active"
+	case sessionBroken:
+		return "broken"
+	case sessionDone:
+		return "done"
+	default:
+		return "failed"
+	}
+}
+
+// session is the originating manager's record of one supervised remote
+// job.
+type session struct {
+	orig        vid.LHID // LHID at first execution — the callers' handle
+	cur         vid.LHID // current incarnation's LHID
+	pid         vid.PID
+	name        string
+	args        []string
+	stdout      vid.PID
+	minMem      uint32
+	hostPM      vid.PID
+	hostLH      vid.LHID // hosting workstation's system LH
+	incarnation int      // 1 for the first execution
+	restarts    int      // recovery attempts consumed
+	maxRestarts int
+	state       sessionState
+	exitCode    uint32
+	lastRenew   sim.Time
+	nextRetry   sim.Time // earliest next recovery attempt (broken only)
+	waiters     []*ipc.Req
+}
+
+// SupStats counts a manager's supervision activity. The trace-event
+// parity invariant holds cluster-wide: summed over all managers,
+// LeaseExpires == EvLeaseExpire and ExecRestarts == EvExecRestart.
+type SupStats struct {
+	// LeaseRenews counts successful PmRenewLease round trips.
+	LeaseRenews int64
+	// LeaseExpires counts sessions broken by a failed or refused renewal
+	// (detector-prompted breaks are not expiries and are not counted).
+	LeaseExpires int64
+	// ExecRestarts counts programs re-executed from their image — session
+	// recoveries plus eviction re-executions.
+	ExecRestarts int64
+}
+
+// SupStats snapshots the supervision counters.
+func (pm *PM) SupStats() SupStats { return pm.sup }
+
+// SessionInfo describes a remote job to Supervise.
+type SessionInfo struct {
+	LHID        vid.LHID
+	PID         vid.PID
+	Name        string
+	Args        []string
+	Stdout      vid.PID
+	MinMem      uint32
+	HostPM      vid.PID
+	HostLH      vid.LHID
+	MaxRestarts int
+}
+
+// Supervise registers a remote job for lease supervision. Called by the
+// originating agent (same host) right after the program starts.
+func (pm *PM) Supervise(si SessionInfo) {
+	pm.sessions[si.LHID] = &session{
+		orig: si.LHID, cur: si.LHID, pid: si.PID,
+		name: si.Name, args: si.Args, stdout: si.Stdout, minMem: si.MinMem,
+		hostPM: si.HostPM, hostLH: si.HostLH,
+		incarnation: 1, maxRestarts: si.MaxRestarts,
+		state: sessionActive, lastRenew: pm.host.Eng.Now(),
+	}
+}
+
+// sessionFor resolves a session by any of its incarnations' LHIDs.
+func (pm *PM) sessionFor(lhid vid.LHID) *session {
+	if orig, ok := pm.alias[lhid]; ok {
+		lhid = orig
+	}
+	return pm.sessions[lhid]
+}
+
+// NoteExited marks a supervised session finished (the agent's Wait saw
+// the exit), stopping further lease traffic.
+func (pm *PM) NoteExited(lhid vid.LHID, code uint32) {
+	if s := pm.sessionFor(lhid); s != nil && s.state != sessionDone && s.state != sessionFailed {
+		s.state = sessionDone
+		s.exitCode = code
+	}
+}
+
+// NoteHostDown breaks every active session hosted on the crashed station;
+// the lease worker recovers them immediately instead of waiting out the
+// next renewal.
+func (pm *PM) NoteHostDown(mac uint16) {
+	for _, s := range pm.sessions {
+		if s.state == sessionActive && uint16(s.hostLH>>8) == mac {
+			s.state = sessionBroken
+			s.nextRetry = pm.host.Eng.Now()
+		}
+	}
+}
+
+// NoteHostSuspect reacts to this host's failure detector suspecting a
+// station. Recovery starts with a locate query, so a false suspicion
+// costs a group round trip, never a double execution.
+func (pm *PM) NoteHostSuspect(mac uint16) { pm.NoteHostDown(mac) }
+
+// SessionView is one supervised session, for operator tooling.
+type SessionView struct {
+	LHID        vid.LHID // original LHID — the job handle
+	CurLH       vid.LHID
+	PID         vid.PID
+	Name        string
+	HostLH      vid.LHID
+	Incarnation int
+	Restarts    int
+	State       string
+	LeaseAge    time.Duration
+	ExitCode    uint32
+}
+
+// Sessions lists the manager's supervised sessions, ordered by original
+// LHID.
+func (pm *PM) Sessions() []SessionView {
+	ids := make([]vid.LHID, 0, len(pm.sessions))
+	for id := range pm.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]SessionView, 0, len(ids))
+	for _, id := range ids {
+		s := pm.sessions[id]
+		out = append(out, SessionView{
+			LHID: s.orig, CurLH: s.cur, PID: s.pid, Name: s.name,
+			HostLH: s.hostLH, Incarnation: s.incarnation, Restarts: s.restarts,
+			State: s.state.String(), LeaseAge: pm.host.Eng.Now().Sub(s.lastRenew),
+			ExitCode: s.exitCode,
+		})
+	}
+	return out
+}
+
+// reapJob is one remote program to destroy with retry — created but never
+// started (the start failed or was partitioned away), or left behind by a
+// failed recovery attempt.
+type reapJob struct {
+	pm       vid.PID
+	lhid     vid.LHID
+	attempts int
+	next     sim.Time
+}
+
+// ReapRemote queues a created-but-unstarted remote program for destruction
+// once its manager is reachable again, so a failed Exec cannot leak the
+// execution environment it created.
+func (pm *PM) ReapRemote(target vid.PID, lhid vid.LHID) {
+	pm.reapQ = append(pm.reapQ, &reapJob{pm: target, lhid: lhid, next: pm.host.Eng.Now()})
+}
+
+// reapRetry paces reap attempts against an unreachable manager.
+const reapRetry = 2 * time.Second
+
+// reapMaxAttempts bounds reaping of a manager that never comes back (its
+// programs died with it anyway).
+const reapMaxAttempts = 10
+
+// leaseLoop is the pm-lease worker: it renews session leases, recovers
+// broken sessions, and drains the remote-reap queue. Sessions are visited
+// in sorted LHID order — map iteration order must not reach the wire.
+func (pm *PM) leaseLoop(ctx *kernel.ProcCtx) {
+	for {
+		ctx.Sleep(pollInterval)
+		pm.drainReapQ(ctx)
+		ids := make([]vid.LHID, 0, len(pm.sessions))
+		for id := range pm.sessions {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			s := pm.sessions[id]
+			switch s.state {
+			case sessionActive:
+				if ctx.Now().Sub(s.lastRenew) >= params.LeaseInterval {
+					pm.renew(ctx, s)
+				}
+			case sessionBroken:
+				if ctx.Now() >= s.nextRetry {
+					pm.recover(ctx, s)
+				}
+			case sessionDone:
+				pm.flushWaiters(ctx, s, vid.Message{Op: PmWaitProgram, W: [6]uint32{s.exitCode}})
+			case sessionFailed:
+				pm.flushWaiters(ctx, s, vid.Message{Op: PmWaitProgram, Code: vid.CodeAborted})
+			}
+		}
+	}
+}
+
+func (pm *PM) flushWaiters(ctx *kernel.ProcCtx, s *session, m vid.Message) {
+	ws := s.waiters
+	s.waiters = nil
+	for _, w := range ws {
+		pm.replyAsPM(ctx, w, m)
+	}
+}
+
+// renew is one lease heartbeat with the hosting manager.
+func (pm *PM) renew(ctx *kernel.ProcCtx, s *session) {
+	m, err := ctx.Send(s.hostPM, vid.Message{Op: PmRenewLease, W: [6]uint32{uint32(s.cur)}})
+	if s.state != sessionActive {
+		return // broken or resolved while the send blocked
+	}
+	switch {
+	case err == nil && m.Code == CodeMoved:
+		// The hosting manager migrated or re-executed the program away:
+		// follow the forwarding record.
+		s.hostPM = vid.PID(m.W[1])
+		s.hostLH = s.hostPM.LH()
+		if nl := vid.LHID(m.W[2]); nl != 0 && nl != s.cur {
+			pm.rebindSession(s, nl)
+		}
+		s.lastRenew = ctx.Now()
+		pm.sup.LeaseRenews++
+	case err == nil && m.OK() && m.W[1] == 1:
+		s.lastRenew = ctx.Now()
+		pm.sup.LeaseRenews++
+	case err == nil && m.OK() && m.W[1] == 2:
+		s.state = sessionDone
+		s.exitCode = m.W[2]
+	default:
+		// Transport failure (timeout or host-down) or not-found: the
+		// lease is lost and the session is broken.
+		pm.expireLease(ctx, s)
+	}
+}
+
+// rebindSession repoints a session at a new incarnation LHID, keeping old
+// LHIDs resolvable for handles issued earlier.
+func (pm *PM) rebindSession(s *session, newLH vid.LHID) {
+	if newLH != s.orig {
+		pm.alias[newLH] = s.orig
+	}
+	s.cur = newLH
+	s.pid = vid.NewPID(newLH, vid.IdxFirstProcess)
+}
+
+// expireLease breaks a session on lease loss, with the trace event and
+// counter (detector-prompted breaks go through NoteHostDown instead and
+// publish nothing — the detector already did).
+func (pm *PM) expireLease(ctx *kernel.ProcCtx, s *session) {
+	s.state = sessionBroken
+	s.nextRetry = ctx.Now()
+	pm.sup.LeaseExpires++
+	pm.host.Trace().Publish(trace.Event{
+		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvLeaseExpire,
+		LH: s.cur, Peer: uint16(s.hostLH >> 8),
+	})
+}
+
+// recover resolves a broken session: find the program if some host still
+// runs it, else re-execute it from its image, else fail the session.
+func (pm *PM) recover(ctx *kernel.ProcCtx, s *session) {
+	// 1. Double-execution guard: ask the manager group who runs it. Only
+	// the manager actually running the program answers (everyone else
+	// keeps silent), so one reply is authoritative; the group send is
+	// bounded by the short group abort, not the full unicast allowance.
+	m, err := ctx.Send(vid.GroupProgramManagers, vid.Message{
+		Op: PmLocateProgram, W: [6]uint32{uint32(s.cur)},
+	})
+	if s.state != sessionBroken {
+		return
+	}
+	if err == nil && m.OK() {
+		// Still running — the host was falsely suspected, or the program
+		// moved and the forwarding record died with its manager.
+		s.hostLH = vid.LHID(m.W[0])
+		s.hostPM = vid.PID(m.W[5])
+		s.state = sessionActive
+		s.lastRenew = ctx.Now()
+		pm.flushWaiters(ctx, s, movedReply(PmWaitProgram, s.orig, movedTo{pm: s.hostPM, lh: s.cur}))
+		return
+	}
+	// 2. Nobody runs it: re-execute, with bounded attempts.
+	if s.restarts >= s.maxRestarts || pm.Selector == nil {
+		pm.failSession(ctx, s)
+		return
+	}
+	s.restarts++
+	if !pm.reexecSession(ctx, s) {
+		if s.restarts >= s.maxRestarts {
+			pm.failSession(ctx, s)
+			return
+		}
+		// Exponential backoff before the next attempt.
+		s.nextRetry = ctx.Now().Add(params.ExecRestartBackoff << (s.restarts - 1))
+	}
+}
+
+// reexecSession runs one recovery attempt: select a host (never the lost
+// one, never our own), create the program there, pre-announce the
+// incarnation change to the output sink, and start it.
+func (pm *PM) reexecSession(ctx *kernel.ProcCtx, s *session) bool {
+	l, err := pm.Selector.Select(ctx, s.minMem, s.hostLH, pm.host.SystemLH().ID())
+	if err != nil {
+		return false
+	}
+	seg := []byte(strings.Join(append([]string{s.name}, s.args...), "\x00"))
+	cm, err := ctx.Send(l.PM, vid.Message{
+		Op: PmCreateProgram, W: [6]uint32{uint32(s.stdout), 1}, Seg: seg,
+	})
+	if err != nil || !cm.OK() {
+		return false
+	}
+	newPID, newLH := vid.PID(cm.W[0]), vid.LHID(cm.W[1])
+	if s.stdout != vid.Nil {
+		// The new incarnation replays output from the start; the display
+		// suppresses what the previous incarnation already delivered
+		// (at-most-once per logical line). Must land before the start.
+		ctx.Send(s.stdout, vid.Message{Op: supOpAdopt, W: [6]uint32{uint32(s.cur), uint32(newLH)}})
+	}
+	sm, err := ctx.Send(kernel.KernelServerPID(newLH), vid.Message{
+		Op: kernel.KsStartProcess, W: [6]uint32{uint32(newPID)},
+	})
+	if err != nil || !sm.OK() {
+		if _, e := ctx.Send(l.PM, vid.Message{
+			Op: PmDestroyProgram, W: [6]uint32{uint32(newLH)},
+		}); e != nil {
+			pm.ReapRemote(l.PM, newLH)
+		}
+		return false
+	}
+	if newLH != s.orig {
+		pm.alias[newLH] = s.orig
+	}
+	s.cur, s.pid = newLH, newPID
+	s.hostPM, s.hostLH = l.PM, l.SystemLH
+	s.incarnation++
+	s.state = sessionActive
+	s.lastRenew = ctx.Now()
+	pm.sup.ExecRestarts++
+	pm.host.Trace().Publish(trace.Event{
+		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvExecRestart,
+		LH: newLH, Peer: uint16(l.SystemLH >> 8), Prio: s.incarnation,
+	})
+	pm.flushWaiters(ctx, s, movedReply(PmWaitProgram, s.orig, movedTo{pm: s.hostPM, lh: s.cur}))
+	return true
+}
+
+// failSession gives up on a session: waiters see an abort and the user
+// gets a notification line.
+func (pm *PM) failSession(ctx *kernel.ProcCtx, s *session) {
+	s.state = sessionFailed
+	pm.flushWaiters(ctx, s, vid.Message{Op: PmWaitProgram, Code: vid.CodeAborted})
+	if s.stdout != vid.Nil {
+		ctx.Send(s.stdout, vid.Message{Op: vvm.OpWriteLine, Seg: []byte(
+			fmt.Sprintf("[progmgr %s] %s: host lost, restarts exhausted; giving up", pm.host.Name, s.name)),
+		})
+	}
+}
+
+// drainReapQ retries at most one due remote destruction per tick.
+func (pm *PM) drainReapQ(ctx *kernel.ProcCtx) {
+	for i := 0; i < len(pm.reapQ); i++ {
+		j := pm.reapQ[i]
+		if ctx.Now() < j.next {
+			continue
+		}
+		pm.reapQ = append(pm.reapQ[:i], pm.reapQ[i+1:]...)
+		if _, err := ctx.Send(j.pm, vid.Message{
+			Op: PmDestroyProgram, W: [6]uint32{uint32(j.lhid)},
+		}); err != nil {
+			// Unreachable (or still down): try again later, boundedly. Any
+			// definitive reply — OK or not-found — settles the job.
+			j.attempts++
+			if j.attempts < reapMaxAttempts {
+				j.next = ctx.Now().Add(reapRetry)
+				pm.reapQ = append(pm.reapQ, j)
+			}
+		}
+		return
+	}
+}
+
+// supOpAdopt duplicates display.OpAdopt — the output-stream adoption
+// notice (W0 = superseded LHID, W1 = successor LHID) — to keep the wire
+// contract explicit without importing the display server.
+const supOpAdopt uint16 = 0x72

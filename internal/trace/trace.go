@@ -103,6 +103,22 @@ const (
 	// EvSelectChoice: selection committed to a host (LH the chosen system
 	// logical host, Prio 1 if chosen warm — without a multicast).
 	EvSelectChoice
+	// EvHostSuspect: the failure detector on Host started suspecting the
+	// station Peer after SuspectAfterRetries unanswered retransmissions
+	// (Size carries the detection latency — silence since last evidence of
+	// life — in microseconds).
+	EvHostSuspect
+	// EvHostClear: evidence of life (any packet from Peer) cleared a
+	// standing suspicion on Host.
+	EvHostClear
+	// EvLeaseExpire: a supervised exec-session's lease with its hosting
+	// manager expired or was refused; the session is broken (LH the
+	// session's current logical host, Peer the hosting station).
+	EvLeaseExpire
+	// EvExecRestart: a broken session was re-executed from its file-server
+	// image on a new host (LH the new logical host, Peer the new hosting
+	// station, Prio the incarnation number).
+	EvExecRestart
 
 	numKinds
 )
@@ -113,6 +129,7 @@ var kindNames = [numKinds]string{
 	"frame-cut", "frame-corrupt", "host-crash", "host-restart",
 	"partition", "heal", "mig-fault", "bind-hit", "bind-miss",
 	"bind-invalidate", "select-query", "select-candidate", "select-choice",
+	"host-suspect", "host-clear", "lease-expire", "exec-restart",
 }
 
 func (k Kind) String() string {

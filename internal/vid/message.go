@@ -43,6 +43,10 @@ const (
 	CodeFrozen
 	// CodeAborted: the operation was torn down administratively.
 	CodeAborted
+	// CodeHostDown: the destination's station is suspected dead by the
+	// per-host failure detector; the transaction was failed fast instead
+	// of riding out the full retransmission allowance.
+	CodeHostDown
 )
 
 func codeName(c uint16) string {
@@ -65,6 +69,8 @@ func codeName(c uint16) string {
 		return "frozen"
 	case CodeAborted:
 		return "aborted"
+	case CodeHostDown:
+		return "host-down"
 	default:
 		return fmt.Sprintf("code%d", c)
 	}
