@@ -99,6 +99,11 @@ func BenchmarkMigrationUnderLoss(b *testing.B) { reportAll(b, experiments.Migrat
 // pre-copy iterations behind the paper's "usually 2 were useful".
 func BenchmarkPrecopyRounds(b *testing.B) { reportAll(b, experiments.PrecopyRounds) }
 
+// BenchmarkCopyThroughput regenerates E10: windowed bulk-transfer
+// bandwidth vs window size, loss rate and zero-page fraction, plus the
+// freeze/total non-regression of a pipelined pre-copy migration.
+func BenchmarkCopyThroughput(b *testing.B) { reportAll(b, experiments.CopyThroughput) }
+
 // ---------------------------------------------------------------------
 // E5 micro-benchmarks: the real cost, on today's hardware, of the checks
 // whose 1985 costs the paper reports (13 µs frozen check, 100 µs

@@ -72,8 +72,15 @@ func main() {
 		loss   = flag.Float64("loss", 0, "Ethernet frame loss probability")
 		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush")
 		sel    = flag.String("select", "first", "host-selection policy: first|random|least")
+		window = flag.Int("window", params.CopyWindow, "bulk-transfer copy window (1 = stop-and-wait)")
 	)
 	flag.Parse()
+
+	if *window < 1 {
+		fmt.Fprintln(os.Stderr, "vcluster: -window must be >= 1")
+		os.Exit(2)
+	}
+	params.CopyWindow = *window
 
 	selPol := sched.PolicyByName(*sel)
 	if selPol == nil {
@@ -358,6 +365,12 @@ func (r *repl) exec(line string) bool {
 			}
 			r.printf("%s migrated (%s): %d round(s), residual %.1f KB, frozen %v",
 				job.Name, rep.Policy, len(rep.Rounds), rep.ResidualKB, rep.FreezeTime)
+			for i, rd := range rep.Rounds {
+				r.printf("  round %d: %.1f KB in %v (%.0f KB/s)", i+1, rd.KB, rd.Dur, rd.CopyRateKBps)
+			}
+			r.printf("  window %d: %d run(s), %d stall(s), occupancy %.1f, wire %.1f KB",
+				rep.WindowSize, rep.WindowSends, rep.WindowStalls, rep.WindowOccupancy,
+				float64(rep.WireBytes)/1024)
 		})
 
 	case "suspend", "resume":
@@ -465,6 +478,17 @@ func (r *repl) exec(line string) bool {
 			tb.Count(trace.EvPktTx), tb.Count(trace.EvPktLocal), tb.Count(trace.EvPktRetx),
 			tb.Count(trace.EvPktDrop), tb.Count(trace.EvFrameDrop), tb.Count(trace.EvReplyPending),
 			tb.Count(trace.EvLocate), tb.Count(trace.EvRebind), tb.Count(trace.EvFreeze))
+		var wsends, wstalls int64
+		for _, n := range r.c.Nodes {
+			ist := n.Host.IPC.Stats()
+			wsends += ist.WindowSends
+			wstalls += ist.WindowStalls
+		}
+		fst := r.c.FSHost.IPC.Stats()
+		wsends += fst.WindowSends
+		wstalls += fst.WindowStalls
+		r.printf("  bulk-transfer: window=%d sends=%d stalls=%d copy-window-events=%d",
+			params.CopyWindow, wsends, wstalls, tb.Count(trace.EvCopyWindow))
 
 	case "trace":
 		if len(f) < 2 || (f[1] != "on" && f[1] != "off") {

@@ -9,6 +9,7 @@ import (
 
 	"vsystem/internal/ethernet"
 	"vsystem/internal/fault"
+	"vsystem/internal/ipc"
 	"vsystem/internal/kernel"
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
@@ -59,6 +60,10 @@ type RoundStat struct {
 	Pages int
 	KB    float64
 	Dur   time.Duration
+	// CopyRateKBps is the round's effective copy rate (address-space KB
+	// moved per second of round wall time, counting elided zero pages as
+	// moved — that is what the destination ends up holding).
+	CopyRateKBps float64
 }
 
 // MigrationReport is returned to the migrateprog requester and consumed by
@@ -74,6 +79,16 @@ type MigrationReport struct {
 	BytesCopied int64
 	DestHost    vid.LHID // target's system logical host
 	NewPM       vid.PID
+
+	// Bulk-transfer engine accounting: bytes actually put on the wire
+	// after zero-page elision (vs BytesCopied, the logical space moved),
+	// and the copy window's size, issue count, full-window stalls and mean
+	// occupancy at issue time.
+	WireBytes       int64
+	WindowSize      int
+	WindowSends     int64
+	WindowStalls    int64
+	WindowOccupancy float64
 }
 
 // Encode serializes the report.
@@ -174,6 +189,11 @@ type Migrator struct {
 	// freezeStart records when the in-flight migration froze the logical
 	// host (migrations are serialized by the program manager's worker).
 	freezeStart sim.Time
+
+	// scratch is the page-run staging slice, sized once and reused across
+	// every batch of a migration (the encoder snapshots page contents into
+	// the wire segment, so reuse across in-flight sends is safe).
+	scratch [][]byte
 }
 
 var _ progmgr.Migrator = (*Migrator)(nil)
@@ -301,6 +321,18 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSelect, Start: start, End: ctx.Now()})
 	mg.atPhase(lh.ID(), trace.PhaseSelect, 0, srcMAC, dstMAC)
 
+	// The bulk-transfer window lives in the source's system logical host
+	// (never frozen) for the whole attempt; every copy path — pre-copy
+	// rounds, frozen residue, stop-and-copy, the flush policy's page-out —
+	// pipelines through it.
+	win := host.IPC.NewWindow(host.SystemLH().ID(), params.CopyWindow)
+	rep.WindowSize = win.Size()
+	defer func() {
+		ws := win.Stats()
+		rep.WindowSends, rep.WindowStalls, rep.WindowOccupancy = ws.Sends, ws.Stalls, ws.AvgOccupancy
+		win.Close()
+	}()
+
 	fail := func(ph trace.Phase, round int, retryable bool, cause error) (*MigrationReport, error) {
 		// Copy failed: keep the original authoritative and unfreeze it to
 		// avoid timeouts (§3.1.3 — "the execution of the program is
@@ -317,7 +349,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	// phases precede the identity swap, so their failures are retry-safe.
 	switch mg.Policy {
 	case PolicyPrecopy, PolicyForwarding:
-		if ph, round, err := mg.precopy(ctx, host, lh, tempLH, targetKS, rep, srcMAC, dstMAC); err != nil {
+		if ph, round, err := mg.precopy(ctx, host, lh, tempLH, targetKS, win, rep, srcMAC, dstMAC); err != nil {
 			return fail(ph, round, true, err)
 		}
 	case PolicyStopCopy:
@@ -330,15 +362,18 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 			all = append(all, spacePages{as, as.AllPages()})
 		}
 		mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
-		kb, err := mg.copyRuns(ctx, tempLH, targetKS, all, rep)
+		kb, err := mg.copyRuns(ctx, tempLH, targetKS, win, all, rep)
 		if err != nil {
 			return fail(trace.PhaseResidue, 0, true, err)
 		}
 		rep.ResidualKB = kb
-		rep.Rounds = append(rep.Rounds, RoundStat{Pages: int(kb), KB: kb, Dur: ctx.Now().Sub(mg.freezeStart)})
+		dur := ctx.Now().Sub(mg.freezeStart)
+		rep.Rounds = append(rep.Rounds, RoundStat{
+			Pages: int(kb), KB: kb, Dur: dur, CopyRateKBps: rateKBps(kb, dur),
+		})
 		mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
 	case PolicyFlush:
-		if err := mg.flushOut(ctx, pm, lh, rep); err != nil {
+		if err := mg.flushOut(ctx, pm, lh, win, rep); err != nil {
 			return fail(trace.PhasePrecopy, 0, true, err)
 		}
 	default:
@@ -483,7 +518,7 @@ func kbOf(sp []spacePages) float64 {
 // logical host is then frozen and the residue copied. On failure it
 // returns the phase and round the copy died in.
 func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.LogicalHost,
-	tempLH vid.LHID, targetKS vid.PID, rep *MigrationReport, srcMAC, dstMAC ethernet.MAC) (trace.Phase, int, error) {
+	tempLH vid.LHID, targetKS vid.PID, win *ipc.Window, rep *MigrationReport, srcMAC, dstMAC ethernet.MAC) (trace.Phase, int, error) {
 
 	// Round 0 copies everything; dirty tracking starts now. Building the
 	// page list and clearing dirty bits is atomic (no blocking between).
@@ -496,12 +531,13 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 	for round := 0; ; round++ {
 		roundStart := ctx.Now()
 		mg.atPhase(lh.ID(), trace.PhasePrecopy, round, srcMAC, dstMAC)
-		if _, err := mg.copyRuns(ctx, tempLH, targetKS, pending, rep); err != nil {
+		if _, err := mg.copyRuns(ctx, tempLH, targetKS, win, pending, rep); err != nil {
 			return trace.PhasePrecopy, round, err
 		}
 		dur := ctx.Now().Sub(roundStart)
 		rep.Rounds = append(rep.Rounds, RoundStat{
 			Pages: pageCount(pending), KB: kbOf(pending), Dur: dur,
+			CopyRateKBps: rateKBps(kbOf(pending), dur),
 		})
 		mg.span(trace.Span{
 			LH: lh.ID(), Phase: trace.PhasePrecopy, Round: round,
@@ -524,7 +560,7 @@ func (mg *Migrator) precopy(ctx *kernel.ProcCtx, host *kernel.Host, lh *kernel.L
 			mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, srcMAC, dstMAC)
 			rep.ResidualKB = dirtyKB
 			mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
-			_, err := mg.copyRuns(ctx, tempLH, targetKS, dirty, rep)
+			_, err := mg.copyRuns(ctx, tempLH, targetKS, win, dirty, rep)
 			if err != nil {
 				return trace.PhaseResidue, 0, err
 			}
@@ -547,10 +583,18 @@ func pageCount(sp []spacePages) int {
 }
 
 // copyRuns transfers the given pages to the new copy in MaxRunPages
-// batches through the target's kernel server.
+// batches through the target's kernel server, keeping up to the window's
+// slot count of KsWritePages transactions in flight. The destination
+// applies runs in whatever order they arrive — each run is self-
+// describing (space, pages, data) and InstallPage is idempotent — so the
+// pipeline never waits for ordering; copyRuns drains the window before
+// returning, making each call a round barrier.
 func (mg *Migrator) copyRuns(ctx *kernel.ProcCtx, tempLH vid.LHID, targetKS vid.PID,
-	sp []spacePages, rep *MigrationReport) (float64, error) {
+	win *ipc.Window, sp []spacePages, rep *MigrationReport) (float64, error) {
 
+	if mg.scratch == nil {
+		mg.scratch = make([][]byte, kernel.MaxRunPages)
+	}
 	var kb float64
 	for _, s := range sp {
 		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
@@ -559,23 +603,33 @@ func (mg *Migrator) copyRuns(ctx *kernel.ProcCtx, tempLH vid.LHID, targetKS vid.
 				end = len(s.pages)
 			}
 			batch := s.pages[off:end]
-			data := make([][]byte, len(batch))
+			data := mg.scratch[:len(batch)]
 			for i, pn := range batch {
-				data[i] = s.as.Page(pn)
+				data[i] = s.as.PageView(pn)
 			}
-			m, err := ctx.Send(targetKS, vid.Message{
+			seg := kernel.EncodePageRun(s.as.ID, batch, data)
+			err := win.Send(ctx.Task(), targetKS, vid.Message{
 				Op:  kernel.KsWritePages,
 				W:   [6]uint32{uint32(tempLH)},
-				Seg: kernel.EncodePageRun(s.as.ID, batch, data),
+				Seg: seg,
 			})
-			if err != nil || !m.OK() {
-				return kb, sendErr(err, m)
+			if err != nil {
+				return kb, err
 			}
 			kb += float64(len(batch)) * mem.PageSize / 1024
 			rep.BytesCopied += int64(len(batch)) * mem.PageSize
+			rep.WireBytes += int64(len(seg))
 		}
 	}
-	return kb, nil
+	return kb, win.Drain(ctx.Task())
+}
+
+// rateKBps is KB per second of d, 0 for an instantaneous round.
+func rateKBps(kb float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return kb / d.Seconds()
 }
 
 func targetMAC(sel HostSel) ethernet.MAC { return ethernet.MAC(sel.SystemLH >> 8) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vsystem/internal/fileserver"
+	"vsystem/internal/ipc"
 	"vsystem/internal/kernel"
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
@@ -26,7 +27,7 @@ type PagerStats struct {
 // frozen, and the residue flushed. The new host faults pages in from the
 // file server on demand.
 func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost,
-	rep *MigrationReport) error {
+	win *ipc.Window, rep *MigrationReport) error {
 
 	fs := mg.fileServerPID()
 	prefix := fmt.Sprintf("pg/%04x", uint16(lh.ID()))
@@ -38,11 +39,13 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 	}
 	for round := 0; ; round++ {
 		roundStart := ctx.Now()
-		if err := mg.flushPages(ctx, fs, prefix, pending, rep); err != nil {
+		if err := mg.flushPages(ctx, fs, prefix, win, pending, rep); err != nil {
 			return err
 		}
+		dur := ctx.Now().Sub(roundStart)
 		rep.Rounds = append(rep.Rounds, RoundStat{
-			Pages: pageCount(pending), KB: kbOf(pending), Dur: ctx.Now().Sub(roundStart),
+			Pages: pageCount(pending), KB: kbOf(pending), Dur: dur,
+			CopyRateKBps: rateKBps(kbOf(pending), dur),
 		})
 		mg.span(trace.Span{
 			LH: lh.ID(), Phase: trace.PhasePrecopy, Round: round,
@@ -59,7 +62,7 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 			pm.Host().Freeze(lh)
 			mg.freezeStart = ctx.Now()
 			rep.ResidualKB = dirtyKB
-			if err := mg.flushPages(ctx, fs, prefix, dirty, rep); err != nil {
+			if err := mg.flushPages(ctx, fs, prefix, win, dirty, rep); err != nil {
 				return err
 			}
 			mg.span(trace.Span{
@@ -74,10 +77,14 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 
 // flushPages writes pages to the file server's paging store in page-run
 // batches (V moved up to 32 KB as a unit, §3.1; a paging server would
-// batch writes the same way).
+// batch writes the same way), pipelined through the same bulk-transfer
+// window as the direct copy paths.
 func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, fs vid.PID, prefix string,
-	sp []spacePages, rep *MigrationReport) error {
+	win *ipc.Window, sp []spacePages, rep *MigrationReport) error {
 
+	if mg.scratch == nil {
+		mg.scratch = make([][]byte, kernel.MaxRunPages)
+	}
 	for _, s := range sp {
 		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
 			end := off + kernel.MaxRunPages
@@ -85,18 +92,21 @@ func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, fs vid.PID, prefix string,
 				end = len(s.pages)
 			}
 			batch := s.pages[off:end]
-			data := make([][]byte, len(batch))
+			data := mg.scratch[:len(batch)]
 			for i, pn := range batch {
-				data[i] = s.as.Page(pn)
+				data[i] = s.as.PageView(pn)
 			}
 			seg := append([]byte(prefix), 0)
 			seg = append(seg, kernel.EncodePageRun(s.as.ID, batch, data)...)
-			m, err := ctx.Send(fs, vid.Message{Op: fileserver.OpPageOutRun, Seg: seg})
-			if err != nil || !m.OK() {
+			if err := win.Send(ctx.Task(), fs, vid.Message{Op: fileserver.OpPageOutRun, Seg: seg}); err != nil {
 				return ErrMigrationFailed
 			}
 			rep.BytesCopied += int64(len(batch)) * mem.PageSize
+			rep.WireBytes += int64(len(seg))
 		}
+	}
+	if err := win.Drain(ctx.Task()); err != nil {
+		return ErrMigrationFailed
 	}
 	return nil
 }

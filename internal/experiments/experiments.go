@@ -97,6 +97,7 @@ func All(seed int64) []*Result {
 		PrecopyRounds(seed),
 		FaultSweep(seed),
 		GuestCrash(seed),
+		CopyThroughput(seed),
 	}
 }
 
@@ -120,6 +121,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"precopy-rounds":    PrecopyRounds,
 		"fault-sweep":       FaultSweep,
 		"guest-crash":       GuestCrash,
+		"copy-throughput":   CopyThroughput,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -132,6 +134,7 @@ func Names() []string {
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "select-policy",
 		"migration-loss", "precopy-rounds", "fault-sweep", "guest-crash",
+		"copy-throughput",
 	}
 }
 

@@ -87,6 +87,12 @@ type Stats struct {
 	// transaction) and suspicions cleared by evidence of life.
 	HostSuspects int64
 	HostClears   int64
+
+	// Bulk-transfer window activity: transactions issued through copy
+	// windows (always equal to the EvCopyWindow trace count for this host)
+	// and issue-time stalls with every window slot in flight.
+	WindowSends  int64
+	WindowStalls int64
 }
 
 // Engine is the per-host IPC engine.
@@ -105,6 +111,7 @@ type Engine struct {
 	forward  map[vid.LHID]ethernet.MAC
 	suspects map[ethernet.MAC]sim.Time // station → when suspicion began
 	heard    map[ethernet.MAC]sim.Time // station → last packet received from it
+	winSeq   uint32                    // bulk-transfer window port allocation sequence
 	stats    Stats
 	trace    *trace.Bus       // nil until wired; nil bus is a no-op target
 	down     bool             // crashed host: frames drop, queued work is discarded

@@ -28,6 +28,7 @@ type Port struct {
 	txSeq     uint32
 	send      *sendTxn
 	replyWait sim.WaitQ
+	winq      *sim.WaitQ // owning bulk-transfer window's harvest queue, if any
 
 	rq      []*Req
 	open    map[vid.PID]*Req // received, not yet replied; one per sender
@@ -371,6 +372,9 @@ func (p *Port) completeSend(msg vid.Message) {
 	}
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
+	if p.winq != nil {
+		p.winq.WakeAll()
+	}
 }
 
 // failSend aborts the matching transaction with the given code.
@@ -389,6 +393,9 @@ func (p *Port) failSend(txid uint32, code uint16) {
 	}
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
+	if p.winq != nil {
+		p.winq.WakeAll()
+	}
 }
 
 // notePending resets the abort countdown: the destination is alive but not

@@ -1,0 +1,158 @@
+package ipc
+
+import (
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// Window is the pipelined bulk-transfer engine: a ring of sub-ports that
+// keeps up to `size` message transactions in flight at once, so a copy
+// loop (migration pre-copy rounds, the flush policy's page-out) saturates
+// the wire instead of stalling for a full reply round trip between runs.
+//
+// A V process has at most one outstanding Send per port, so pipelining is
+// built the way a V program would build it: the window owns `size`
+// distinct worker ports in the caller's logical host and rotates issues
+// across whichever is free. Completions are harvested in any order — a
+// transaction stalled behind a retransmission never blocks the rest of
+// the pipeline — and errors are sticky: the first transport failure or
+// error reply is remembered and returned from the next Send or Drain.
+//
+// Window size 1 degenerates to the stop-and-wait copy loop the paper
+// describes, which is exactly how the E10 baseline is measured.
+type Window struct {
+	eng   *Engine
+	ports []*Port
+	wait  sim.WaitQ
+
+	inflight int
+	err      error
+
+	sends    int64
+	stalls   int64
+	occupSum int64 // Σ in-flight count at each issue, for mean occupancy
+}
+
+// WindowStats summarizes a window's activity.
+type WindowStats struct {
+	// Sends counts transactions issued through the window.
+	Sends int64
+	// Stalls counts issue-time waits with every slot in flight (a full
+	// window). A stop-and-wait window of size 1 stalls on ~every send;
+	// an open window should mostly issue immediately.
+	Stalls int64
+	// AvgOccupancy is the mean number of in-flight transactions observed
+	// at issue time (1.0 for stop-and-wait, → size as the pipe fills).
+	AvgOccupancy float64
+}
+
+// NewWindow creates a bulk-transfer window of `size` worker ports owned
+// by logical host lh (the caller's — for the migrator, the system logical
+// host, which is never frozen). Close releases the ports.
+func (e *Engine) NewWindow(lh vid.LHID, size int) *Window {
+	if size < 1 {
+		size = 1
+	}
+	w := &Window{eng: e}
+	for i := 0; i < size; i++ {
+		// Window worker PIDs live in a private high index range (below the
+		// pager's 0xF000 block, far above real process indices); the
+		// sequence advances per port so a fresh window never collides with
+		// late replies addressed to a predecessor's transactions.
+		pid := vid.NewPID(lh, uint16(0xE000+e.winSeq%0x0FF0))
+		e.winSeq++
+		p := e.NewPort(pid)
+		p.winq = &w.wait
+		w.ports = append(w.ports, p)
+	}
+	return w
+}
+
+// Size returns the window's slot count.
+func (w *Window) Size() int { return len(w.ports) }
+
+// reap harvests every completed transaction, recording the first error
+// (transport failure or error reply) and freeing the slots.
+func (w *Window) reap(t *sim.Task) {
+	for _, p := range w.ports {
+		if p.send == nil || !p.send.done {
+			continue
+		}
+		reply, err := p.AwaitReply(t) // completed: returns without blocking
+		w.inflight--
+		if err == nil && !reply.OK() {
+			err = reply.Err()
+		}
+		if err != nil && w.err == nil {
+			w.err = err
+		}
+	}
+}
+
+// Send issues one transaction through the window, blocking only while all
+// slots are in flight. The calling task is charged for fragmentation of
+// msg.Seg exactly as a blocking Send would charge it; what pipelining
+// overlaps is the destination's processing and the reply latency. A
+// sticky error from an earlier transaction is returned immediately (the
+// new message is not sent).
+func (w *Window) Send(t *sim.Task, dst vid.PID, msg vid.Message) error {
+	var free *Port
+	for {
+		w.reap(t)
+		if w.err != nil {
+			return w.err
+		}
+		for _, p := range w.ports {
+			if p.send == nil {
+				free = p
+				break
+			}
+		}
+		if free != nil {
+			break
+		}
+		w.stalls++
+		w.eng.stats.WindowStalls++
+		w.wait.Wait(t)
+	}
+	free.StartSend(t, dst, msg)
+	w.inflight++
+	w.sends++
+	w.occupSum += int64(w.inflight)
+	w.eng.stats.WindowSends++
+	w.eng.trace.Publish(trace.Event{
+		At: w.eng.sim.Now(), Host: uint16(w.eng.nic.MAC()),
+		Kind: trace.EvCopyWindow, LH: dst.LH(), Size: w.inflight,
+	})
+	return nil
+}
+
+// Drain blocks until every in-flight transaction has completed, returning
+// the sticky error if any transaction failed.
+func (w *Window) Drain(t *sim.Task) error {
+	for {
+		w.reap(t)
+		if w.inflight == 0 {
+			return w.err
+		}
+		w.wait.Wait(t)
+	}
+}
+
+// Stats returns the window's activity counters.
+func (w *Window) Stats() WindowStats {
+	s := WindowStats{Sends: w.sends, Stalls: w.stalls}
+	if w.sends > 0 {
+		s.AvgOccupancy = float64(w.occupSum) / float64(w.sends)
+	}
+	return s
+}
+
+// Close releases the window's ports; any still-in-flight transactions are
+// abandoned (their timers stop with the ports).
+func (w *Window) Close() {
+	for _, p := range w.ports {
+		p.Close()
+	}
+}

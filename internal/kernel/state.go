@@ -156,7 +156,14 @@ func (h *Host) InstallKernelState(lh *LogicalHost, st *LHState) error {
 // fits the 32 KB segment limit.
 const MaxRunPages = 30
 
+// ZeroPageFlag marks a page-number word whose page is all zero: the body
+// is elided from the run and the destination reinstalls the shared zero
+// page. Page numbers are small (a space is at most a few MB) so bit 31 is
+// free in the wire format.
+const ZeroPageFlag = uint32(1) << 31
+
 // EncodePageRun packs pages of one address space for a bulk write.
+// All-zero pages travel as just their flagged 4-byte header word.
 func EncodePageRun(spaceID uint32, pages []mem.PageNo, data [][]byte) []byte {
 	if len(pages) != len(data) {
 		panic("kernel: page/data mismatch")
@@ -164,37 +171,54 @@ func EncodePageRun(spaceID uint32, pages []mem.PageNo, data [][]byte) []byte {
 	buf := make([]byte, 0, 8+len(pages)*(4+mem.PageSize))
 	buf = binary.LittleEndian.AppendUint32(buf, spaceID)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
-	for _, pn := range pages {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(pn))
-	}
-	for _, d := range data {
-		if len(d) != mem.PageSize {
+	for i, pn := range pages {
+		if len(data[i]) != mem.PageSize {
 			panic("kernel: short page in run")
 		}
-		buf = append(buf, d...)
+		w := uint32(pn)
+		if mem.IsZeroPage(data[i]) {
+			w |= ZeroPageFlag
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, w)
+	}
+	for i, d := range data {
+		if binary.LittleEndian.Uint32(buf[8+4*i:])&ZeroPageFlag == 0 {
+			buf = append(buf, d...)
+		}
 	}
 	return buf
 }
 
-// DecodePageRun unpacks a page run.
+// DecodePageRun unpacks a page run. Elided (all-zero) pages decode to the
+// shared zero page; both consumers of the data copy before storing.
 func DecodePageRun(seg []byte) (spaceID uint32, pages []mem.PageNo, data [][]byte, err error) {
 	if len(seg) < 8 {
 		return 0, nil, nil, fmt.Errorf("kernel: short page run")
 	}
 	spaceID = binary.LittleEndian.Uint32(seg)
 	n := int(binary.LittleEndian.Uint32(seg[4:]))
-	need := 8 + n*4 + n*mem.PageSize
-	if n < 0 || n > MaxRunPages || len(seg) < need {
+	if n < 0 || n > MaxRunPages || len(seg) < 8+n*4 {
 		return 0, nil, nil, fmt.Errorf("kernel: malformed page run (%d pages, %d bytes)", n, len(seg))
 	}
-	off := 8
+	bodies := 0
 	for i := 0; i < n; i++ {
-		pages = append(pages, mem.PageNo(binary.LittleEndian.Uint32(seg[off:])))
-		off += 4
+		if binary.LittleEndian.Uint32(seg[8+4*i:])&ZeroPageFlag == 0 {
+			bodies++
+		}
 	}
+	if need := 8 + n*4 + bodies*mem.PageSize; len(seg) < need {
+		return 0, nil, nil, fmt.Errorf("kernel: truncated page run (%d pages, %d bodies, %d bytes)", n, bodies, len(seg))
+	}
+	off := 8 + n*4
 	for i := 0; i < n; i++ {
-		data = append(data, seg[off:off+mem.PageSize])
-		off += mem.PageSize
+		w := binary.LittleEndian.Uint32(seg[8+4*i:])
+		pages = append(pages, mem.PageNo(w&^ZeroPageFlag))
+		if w&ZeroPageFlag != 0 {
+			data = append(data, mem.ZeroPage())
+		} else {
+			data = append(data, seg[off:off+mem.PageSize])
+			off += mem.PageSize
+		}
 	}
 	return spaceID, pages, data, nil
 }

@@ -231,6 +231,36 @@ func (as *AddressSpace) Page(pn PageNo) []byte {
 	return b
 }
 
+// zeroPage is the canonical all-zero page. PageView and DecodePageRun
+// hand it out for absent or elided pages; callers must treat views as
+// read-only (InstallPage and the file server both copy before storing).
+var zeroPage = make([]byte, PageSize)
+
+// ZeroPage returns the shared read-only all-zero page.
+func ZeroPage() []byte { return zeroPage }
+
+// PageView returns the page's live contents without copying (the shared
+// zero page if unallocated). The view is read-only and valid only until
+// the space is next written; the bulk-transfer encoder snapshots it into
+// the wire segment immediately.
+func (as *AddressSpace) PageView(pn PageNo) []byte {
+	if p := as.getPage(pn, false); p != nil {
+		return p.data
+	}
+	return zeroPage
+}
+
+// IsZeroPage reports whether a page-sized buffer is all zero — the test
+// behind zero-page elision on the copy wire format.
+func IsZeroPage(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // InstallPage overwrites a whole page without setting its dirty bit: this
 // is the receive side of a migration copy, where the new copy must start
 // with clean dirty bits.

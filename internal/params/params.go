@@ -183,6 +183,13 @@ var (
 	// PrecopyMinShrink: stop iterating when a round fails to shrink the
 	// dirty set to at most this fraction of the previous round.
 	PrecopyMinShrink = 0.7
+
+	// CopyWindow is how many KsWritePages transactions the bulk-transfer
+	// engine keeps in flight during address-space copies (and the flush
+	// policy's page-out). 1 degenerates to the paper's stop-and-wait copy
+	// loop; ~4 is enough to hide the reply-latency gap between runs and
+	// keep the destination kernel server busy. Swept by E10.
+	CopyWindow = 4
 )
 
 // SelectTimeout is how long a host-selection query waits for its first

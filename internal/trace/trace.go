@@ -119,6 +119,12 @@ const (
 	// image on a new host (LH the new logical host, Peer the new hosting
 	// station, Prio the incarnation number).
 	EvExecRestart
+	// EvCopyWindow: the bulk-transfer engine issued a pipelined copy
+	// transaction (Host the issuing station, Size the number of
+	// transactions in flight after the issue — the window occupancy, Peer
+	// the destination). The per-engine Stats.WindowSends counter must
+	// always equal the count of these events; tests hold the two to parity.
+	EvCopyWindow
 
 	numKinds
 )
@@ -130,6 +136,7 @@ var kindNames = [numKinds]string{
 	"partition", "heal", "mig-fault", "bind-hit", "bind-miss",
 	"bind-invalidate", "select-query", "select-candidate", "select-choice",
 	"host-suspect", "host-clear", "lease-expire", "exec-restart",
+	"copy-window",
 }
 
 func (k Kind) String() string {
