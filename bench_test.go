@@ -104,6 +104,17 @@ func BenchmarkPrecopyRounds(b *testing.B) { reportAll(b, experiments.PrecopyRoun
 // freeze/total non-regression of a pipelined pre-copy migration.
 func BenchmarkCopyThroughput(b *testing.B) { reportAll(b, experiments.CopyThroughput) }
 
+// BenchmarkClusterLoad regenerates E11: open-loop Poisson job streams
+// against a large cluster, turnaround percentiles + placement quality +
+// hot-spot bytes per selection policy. Runs the CI-sized 100-host grid so
+// a bench sweep stays fast; the default 500-host grid runs via vbench.
+func BenchmarkClusterLoad(b *testing.B) {
+	old := experiments.ClusterLoadHosts
+	experiments.ClusterLoadHosts = 100
+	defer func() { experiments.ClusterLoadHosts = old }()
+	reportAll(b, experiments.ClusterLoad)
+}
+
 // ---------------------------------------------------------------------
 // E5 micro-benchmarks: the real cost, on today's hardware, of the checks
 // whose 1985 costs the paper reports (13 µs frozen check, 100 µs

@@ -9,6 +9,8 @@
 //	vbench -seed 7          # change the simulation seed
 //	vbench -root .          # repo root, for the space-cost experiment
 //	vbench -json            # emit machine-readable paper-vs-measured rows
+//	vbench -hosts 100       # shrink the cluster-load grid (CI determinism)
+//	vbench -cpuprofile p    # write a pprof CPU profile of the run
 package main
 
 import (
@@ -16,26 +18,63 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"vsystem/internal/experiments"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the program body so deferred profile writers run
+// before the process exits with a status.
+func realMain() int {
 	var (
 		exp    = flag.String("e", "", "run a single experiment id (see -list)")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		list   = flag.Bool("list", false, "list experiment ids")
 		root   = flag.String("root", ".", "repository root (for the space experiment)")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of formatted text")
+		hosts  = flag.Int("hosts", 0, "override the cluster-load host grid (0 = default)")
+		cpuPro = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPro = flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	)
 	flag.Parse()
+	if *hosts > 0 {
+		experiments.ClusterLoadHosts = *hosts
+	}
+	if *cpuPro != "" {
+		f, err := os.Create(*cpuPro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "vbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memPro != "" {
+		defer func() {
+			f, err := os.Create(*memPro)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "vbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+		}()
+	}
 
 	if *list {
 		for _, n := range experiments.Names() {
 			fmt.Println(n)
 		}
 		fmt.Println("space")
-		return
+		return 0
 	}
 
 	fail := 0
@@ -58,7 +97,7 @@ func main() {
 		f, ok := experiments.ByName(*exp)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "vbench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		run(f(*seed))
 	default:
@@ -71,12 +110,13 @@ func main() {
 		b, err := json.MarshalIndent(results, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "vbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(string(b))
 	}
 	if fail > 0 {
 		fmt.Fprintf(os.Stderr, "vbench: %d experiment(s) failed shape assertions\n", fail)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -130,17 +130,50 @@ func NewCluster(opt Options) *Cluster {
 	if selPolicy.LoadAware() {
 		beacon = params.LoadBeaconInterval
 	}
+	// Size the binding caches to the cluster: every host may hold a live
+	// reply-path binding per peer (boot registration, select-reply bursts),
+	// and the file server always does. Left at the params default, a
+	// >64-host cluster livelocks at boot — evicted reply bindings turn into
+	// locate broadcasts faster than the retransmitting herd lets them
+	// resolve.
+	bindCap := 2*opt.Workstations + 8
+	// Multicast select replies are dallied on large clusters: hundreds of
+	// hosts finishing the probe evaluation at the same instant would
+	// otherwise transmit simultaneously and jam the segment (reply
+	// implosion). Small clusters keep the paper's exact timings.
+	var dally time.Duration
+	// Reply thinning rides the same gate: multicast queries on a large
+	// cluster carry a permille sized so ~SelectReplyTarget hosts answer
+	// (and only those pay the probe evaluation); small clusters keep
+	// every-willing-host-answers semantics.
+	var replyPermille uint32
+	if opt.Workstations >= params.SelectDallyMinHosts {
+		dally = time.Duration(opt.Workstations) * params.SelectDallyPerHost
+		if dally > params.SelectDallyMax {
+			dally = params.SelectDallyMax
+		}
+		replyPermille = uint32(1000 * params.SelectReplyTarget / opt.Workstations)
+		if replyPermille > 1000 {
+			replyPermille = 1000
+		}
+		if replyPermille == 0 {
+			replyPermille = 1
+		}
+	}
 	for i := 0; i < opt.Workstations; i++ {
 		h := kernel.NewHost(eng, bus, i, fmt.Sprintf("ws%d", i))
+		h.IPC.SetBindingCacheCap(bindCap)
 		h.AttachTrace(tb)
 		registerHostMetrics(tb, h)
 		n := &Node{Host: h, cluster: c}
 		n.PM = progmgr.Start(h)
+		n.PM.SelectDally = dally
 		cache := sched.NewCache(eng.Now)
 		n.Selector = sched.NewSelector(selPolicy, cache,
 			vid.GroupProgramManagers, progmgr.PmSelectHost,
 			uint16(h.NIC.MAC()), tb,
 			rand.New(rand.NewSource(opt.Seed+int64(i+1)*7919)))
+		n.Selector.ReplyPermille = replyPermille
 		h.IPC.SetLoadSink(cache.Observe)
 		h.EnableLoadAds(beacon)
 		tb.RegisterSource("sched/"+h.Name, n.Selector.Metrics)
@@ -180,6 +213,7 @@ func NewCluster(opt Options) *Cluster {
 		}
 	})
 	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
+	c.FSHost.IPC.SetBindingCacheCap(bindCap)
 	c.FSHost.AttachTrace(tb)
 	c.FSHost.EnableLoadAds(0)
 	registerHostMetrics(tb, c.FSHost)
@@ -188,9 +222,14 @@ func NewCluster(opt Options) *Cluster {
 	c.Fault.RegisterHost(c.FSHost.NIC.MAC(), c.FSHost.Crash, c.restartFS)
 	// Resident servers announce themselves to the global name service.
 	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
-	for _, n := range c.Nodes {
-		nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
-		nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())
+	// Stagger the workstations' boot registrations the way their load
+	// beacons already are: launched simultaneously, a big cluster's
+	// registration herd retransmits against the name server faster than
+	// its host can even classify the duplicates.
+	for i, n := range c.Nodes {
+		d := time.Duration(i) * 10 * time.Millisecond
+		nameserver.RegisterSelfAt(n.Host, "display."+n.Name(), n.Display.PID(), d)
+		nameserver.RegisterSelfAt(n.Host, "progmgr."+n.Name(), n.PM.PID(), d)
 	}
 	return c
 }

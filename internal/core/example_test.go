@@ -30,7 +30,7 @@ func Example() {
 	c.Run(time.Minute)
 	fmt.Printf("display: %v\n", c.Node(0).Display.Lines())
 	// Output:
-	// ran on ws1, exit 25
+	// ran on ws2, exit 25
 	// display: [25]
 }
 
@@ -56,6 +56,6 @@ func Example_migrateprog() {
 	lines := c.Node(0).Display.Lines()
 	fmt.Printf("%d lines, last %q\n", len(lines), lines[len(lines)-1])
 	// Output:
-	// moved to ws0 after 1 pre-copy round(s)
+	// moved to ws2 after 1 pre-copy round(s)
 	// 40 lines, last "t40"
 }

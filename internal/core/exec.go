@@ -19,8 +19,8 @@ type HostSel struct {
 }
 
 // MAC returns the selected host's station address (derived from the
-// system logical-host id, whose high byte is the host index + 1).
-func (s HostSel) MAC() uint16 { return uint16(s.SystemLH >> 8) }
+// system logical-host id, whose station field is the host index + 1).
+func (s HostSel) MAC() uint16 { return s.SystemLH.Station() }
 
 // ErrNoHost means no workstation answered a selection query.
 var ErrNoHost = errors.New("core: no host available")

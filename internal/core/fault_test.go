@@ -96,7 +96,7 @@ func TestDestCrashDuringPrecopySourceSurvives(t *testing.T) {
 	if rep == nil {
 		t.Fatal("no migration report after successful retry")
 	}
-	if destMAC := uint16(rep.DestHost >> 8); destMAC == crashedMAC {
+	if destMAC := rep.DestHost.Station(); destMAC == crashedMAC {
 		t.Fatalf("retry reused the crashed destination %#x", destMAC)
 	}
 	assertGapless(t, c.Node(0).Display.Lines(), 400)

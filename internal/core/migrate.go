@@ -477,6 +477,9 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	}
 	lhid := lh.ID()
 	host.DestroyLH(lh)
+	// The identity now lives at the destination: the local slot must not
+	// be recycled into a colliding logical host.
+	host.RetireLHID(lhid)
 	ctx.Send(rep.NewPM, vid.Message{
 		Op: progmgr.PmAssumeMigration, W: [6]uint32{uint32(lhid)},
 	})
@@ -632,4 +635,4 @@ func rateKBps(kb float64, d time.Duration) float64 {
 	return kb / d.Seconds()
 }
 
-func targetMAC(sel HostSel) ethernet.MAC { return ethernet.MAC(sel.SystemLH >> 8) }
+func targetMAC(sel HostSel) ethernet.MAC { return ethernet.MAC(sel.SystemLH.Station()) }

@@ -23,9 +23,22 @@ type MAC uint16
 // Broadcast addresses every station.
 const Broadcast MAC = 0xFFFF
 
+// MulticastBit marks a multicast (group) address. Station addresses are
+// small integers and never carry it.
+const MulticastBit MAC = 0x8000
+
+// Multicast forms the multicast address for a group id.
+func Multicast(id uint16) MAC { return MAC(id) | MulticastBit }
+
+// IsMulticast reports whether the address is a multicast group address.
+func (m MAC) IsMulticast() bool { return m != Broadcast && m&MulticastBit != 0 }
+
 func (m MAC) String() string {
 	if m == Broadcast {
 		return "mac:*"
+	}
+	if m.IsMulticast() {
+		return fmt.Sprintf("mac:g%02x", uint16(m&^MulticastBit))
 	}
 	return fmt.Sprintf("mac:%02x", uint16(m))
 }
@@ -189,6 +202,18 @@ func (b *Bus) transmit(f Frame) sim.Time {
 			}
 			return
 		}
+		if f.Dst.IsMulticast() {
+			// Hardware multicast filter: only subscribed stations take the
+			// receive interrupt. The frame still occupies the shared medium
+			// like any other.
+			b.stats.Broadcasts++
+			for _, n := range b.order {
+				if n.mac != f.Src && n.recv != nil && n.multi[f.Dst] && !b.severed(f.Src, n.mac, len(f.Payload)) {
+					n.deliver(f)
+				}
+			}
+			return
+		}
 		if n := b.stations[f.Dst]; n != nil && n.recv != nil && !b.severed(f.Src, f.Dst, len(f.Payload)) {
 			n.deliver(f)
 		}
@@ -212,16 +237,36 @@ func (b *Bus) severed(src, dst MAC, size int) bool {
 
 // NIC is one station's interface.
 type NIC struct {
-	bus  *Bus
-	mac  MAC
-	recv func(Frame)
+	bus   *Bus
+	mac   MAC
+	recv  func(Frame)
+	multi map[MAC]bool // subscribed multicast addresses (hardware filter)
 
 	txFrames int64
 	rxFrames int64
+	txBytes  int64
+	rxBytes  int64
 }
 
 // MAC returns the station address.
 func (n *NIC) MAC() MAC { return n.mac }
+
+// JoinMulticast programs the address into the receive filter. Frames to
+// unsubscribed multicast addresses never reach this station's receive
+// callback — the cost of a group send scales with the member count, not
+// the segment population.
+func (n *NIC) JoinMulticast(m MAC) {
+	if !m.IsMulticast() {
+		panic(fmt.Sprintf("ethernet: JoinMulticast(%v): not a multicast address", m))
+	}
+	if n.multi == nil {
+		n.multi = make(map[MAC]bool)
+	}
+	n.multi[m] = true
+}
+
+// LeaveMulticast removes the address from the receive filter.
+func (n *NIC) LeaveMulticast(m MAC) { delete(n.multi, m) }
 
 // Engine returns the simulation engine the NIC runs on.
 func (n *NIC) Engine() *sim.Engine { return n.bus.eng }
@@ -232,6 +277,7 @@ func (n *NIC) SetRecv(fn func(Frame)) { n.recv = fn }
 
 func (n *NIC) deliver(f Frame) {
 	n.rxFrames++
+	n.rxBytes += int64(len(f.Payload))
 	n.recv(f)
 }
 
@@ -240,6 +286,7 @@ func (n *NIC) deliver(f Frame) {
 func (n *NIC) StartSend(f Frame, done func()) {
 	f.Src = n.mac
 	n.txFrames++
+	n.txBytes += int64(len(f.Payload))
 	end := n.bus.transmit(f)
 	if done != nil {
 		n.bus.eng.At(end, done)
@@ -258,3 +305,8 @@ func (n *NIC) Send(t *sim.Task, f Frame) {
 
 // Counters reports frames sent and received by this NIC.
 func (n *NIC) Counters() (tx, rx int64) { return n.txFrames, n.rxFrames }
+
+// ByteCounters reports payload bytes sent and received by this NIC — the
+// per-station hot-spot measure (file server, home program manager) that
+// segment-level totals cannot attribute.
+func (n *NIC) ByteCounters() (tx, rx int64) { return n.txBytes, n.rxBytes }

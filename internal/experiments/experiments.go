@@ -98,6 +98,7 @@ func All(seed int64) []*Result {
 		FaultSweep(seed),
 		GuestCrash(seed),
 		CopyThroughput(seed),
+		ClusterLoad(seed),
 	}
 }
 
@@ -122,6 +123,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"fault-sweep":       FaultSweep,
 		"guest-crash":       GuestCrash,
 		"copy-throughput":   CopyThroughput,
+		"cluster-load":      ClusterLoad,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -134,7 +136,7 @@ func Names() []string {
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "select-policy",
 		"migration-loss", "precopy-rounds", "fault-sweep", "guest-crash",
-		"copy-throughput",
+		"copy-throughput", "cluster-load",
 	}
 }
 

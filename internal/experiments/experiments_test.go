@@ -32,6 +32,18 @@ func TestA5PrecopyRounds(t *testing.T)        { runExp(t, PrecopyRounds) }
 func TestF1FaultSweep(t *testing.T)           { runExp(t, FaultSweep) }
 func TestF2GuestCrash(t *testing.T)           { runExp(t, GuestCrash) }
 
+// E11 runs in the suite on a 150-host grid: big enough to cover the
+// >127-host LHID-station region (where the 8-bit station layout used to
+// collide with the group-id space) while keeping `go test` fast. The full
+// 500-host default runs via vbench; CI double-runs 100 hosts for
+// determinism.
+func TestE11ClusterLoad(t *testing.T) {
+	old := ClusterLoadHosts
+	ClusterLoadHosts = 150
+	defer func() { ClusterLoadHosts = old }()
+	runExp(t, ClusterLoad)
+}
+
 func TestE6SpaceCost(t *testing.T) {
 	r := SpaceCost("../..") // repo root relative to this package
 	t.Log("\n" + r.Format())

@@ -9,6 +9,11 @@ func TestAllExperimentsAcrossSeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-seed sweep is slow")
 	}
+	// The sweep covers E11 at 150 hosts (the >127-host regression region);
+	// the 500-host default grid runs via vbench.
+	oldHosts := ClusterLoadHosts
+	ClusterLoadHosts = 150
+	defer func() { ClusterLoadHosts = oldHosts }()
 	for seed := int64(1); seed <= 3; seed++ {
 		for _, name := range Names() {
 			f, _ := ByName(name)

@@ -105,6 +105,7 @@ type Engine struct {
 	portList []*Port // registration order, for deterministic iteration
 	cache    map[vid.LHID]*bindEntry
 	cacheSeq uint64 // recency clock for LRU eviction
+	cacheCap int    // binding-cache capacity (params.BindingCacheCap default)
 	jobs     sim.Queue[job]
 	reasm    map[reasmKey]*reasmBuf
 	txBuf    map[reasmKey]*fragSource
@@ -175,6 +176,7 @@ func New(se *sim.Engine, nic *ethernet.NIC, c *cpu.CPU, res Resolver) *Engine {
 		res:              res,
 		ports:            make(map[vid.PID]*Port),
 		cache:            make(map[vid.LHID]*bindEntry),
+		cacheCap:         params.BindingCacheCap,
 		reasm:            make(map[reasmKey]*reasmBuf),
 		txBuf:            make(map[reasmKey]*fragSource),
 		forward:          make(map[vid.LHID]ethernet.MAC),
@@ -255,6 +257,20 @@ func (e *Engine) CacheLookup(lh vid.LHID) (ethernet.MAC, bool) {
 // CacheLen reports how many bindings are cached.
 func (e *Engine) CacheLen() int { return len(e.cache) }
 
+// SetBindingCacheCap resizes the binding cache. A server host answering N
+// clients needs at least N reply-path bindings live at once: with fewer,
+// every reply past the capacity evicts a binding another reply is about to
+// need, each miss costs a locate broadcast, and under a full-cluster burst
+// (boot registration, a select multicast's replies) the herd of 200 ms
+// retransmissions regenerates the misses faster than locates resolve them —
+// a livelock, not a slowdown. Clusters therefore size the cache to the
+// machine count; values below the params default are ignored.
+func (e *Engine) SetBindingCacheCap(n int) {
+	if n > e.cacheCap {
+		e.cacheCap = n
+	}
+}
+
 // cacheInsert records (or refreshes) a binding, evicting the least
 // recently used entry when the cache is at capacity.
 func (e *Engine) cacheInsert(lh vid.LHID, mac ethernet.MAC) {
@@ -264,7 +280,7 @@ func (e *Engine) cacheInsert(lh vid.LHID, mac ethernet.MAC) {
 		be.used = e.cacheSeq
 		return
 	}
-	if len(e.cache) >= params.BindingCacheCap {
+	if len(e.cache) >= e.cacheCap {
 		var victim vid.LHID
 		oldest := uint64(1<<64 - 1)
 		for l, be := range e.cache {
@@ -457,12 +473,19 @@ func (e *Engine) resendFrags(t *sim.Task, key reasmKey, missing []uint16) {
 
 // recvFrame processes one arriving frame on netd.
 func (e *Engine) recvFrame(t *sim.Task, f ethernet.Frame) {
-	if len(f.Payload) >= 512 {
+	p, err := packet.Unmarshal(f.Payload)
+	switch {
+	case len(f.Payload) >= 512:
 		e.cpu.Use(t, params.BulkRecvCPU, params.PrioKernel)
-	} else {
+	case err == nil && p.Kind == packet.KLoadAd:
+		// Beacons take the interrupt-level fast path: a fixed-format
+		// datagram consumed in place (no reply, no reassembly, no
+		// process delivery), so broadcast load dissemination does not
+		// tax every kernel at full packet-dispatch cost.
+		e.cpu.Use(t, params.LoadAdRecvCPU, params.PrioKernel)
+	default:
 		e.cpu.Use(t, params.SmallPktRecvCPU, params.PrioKernel)
 	}
-	p, err := packet.Unmarshal(f.Payload)
 	if err != nil {
 		// Corrupt frame: count and trace the drop, then discard.
 		e.stats.RxCorrupt++
@@ -730,7 +753,10 @@ func (e *Engine) noProc(p *packet.Packet, from ethernet.MAC) {
 func (e *Engine) route(dst vid.PID) (mac ethernet.MAC, local, ok bool) {
 	lh := dst.LH()
 	if dst.IsGroup() {
-		return ethernet.Broadcast, false, true
+		// Group traffic rides Ethernet multicast: only member stations'
+		// receive filters accept it (§2.1's "multicast to the program
+		// manager group" without waking every kernel on the segment).
+		return ethernet.Multicast(uint16(lh)), false, true
 	}
 	if e.res.LHResident(lh) {
 		return e.nic.MAC(), true, true

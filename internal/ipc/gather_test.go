@@ -25,7 +25,7 @@ func TestGatherCollectsAllReplies(t *testing.T) {
 		lh := vid.LHID(20 + i)
 		r.place(lh, i)
 		p := r.hosts[i].eng.NewPort(vid.NewPID(lh, 16))
-		r.hosts[i].groups[group] = []vid.PID{p.PID()}
+		r.hosts[i].join(group, p.PID())
 		d := delays[i-1]
 		id := uint32(i)
 		r.sim.Spawn("member", func(tk *sim.Task) {
@@ -83,7 +83,7 @@ func TestGatherDedupsDuplicateReplies(t *testing.T) {
 	r.place(lhB, 1)
 	client := r.hosts[0].eng.NewPort(vid.NewPID(lhA, 16))
 	server := r.hosts[1].eng.NewPort(vid.NewPID(lhB, 16))
-	r.hosts[1].groups[group] = []vid.PID{server.PID()}
+	r.hosts[1].join(group, server.PID())
 	echoServer(r.sim, server)
 
 	var rs []GatherReply

@@ -15,10 +15,20 @@ import (
 // freeze flags, well-known index mappings and group memberships.
 type fakeHost struct {
 	eng      *Engine
+	nic      *ethernet.NIC
 	resident map[vid.LHID]bool
 	frozen   map[vid.LHID]bool
 	wk       map[vid.LHID]map[uint16]vid.PID
 	groups   map[vid.PID][]vid.PID
+}
+
+// join mirrors the kernel: the first local member of a group programs the
+// group's multicast address into the NIC receive filter.
+func (h *fakeHost) join(g vid.PID, p vid.PID) {
+	if len(h.groups[g]) == 0 {
+		h.nic.JoinMulticast(ethernet.Multicast(uint16(g.LH())))
+	}
+	h.groups[g] = append(h.groups[g], p)
 }
 
 func (h *fakeHost) LHResident(lh vid.LHID) bool { return h.resident[lh] }
@@ -49,6 +59,7 @@ func newRig(t *testing.T, n int, seed int64) *rig {
 	for i := 0; i < n; i++ {
 		nic := bus.Attach(ethernet.MAC(i + 1))
 		h := &fakeHost{
+			nic:      nic,
 			resident: make(map[vid.LHID]bool),
 			frozen:   make(map[vid.LHID]bool),
 			wk:       make(map[vid.LHID]map[uint16]vid.PID),
@@ -414,7 +425,7 @@ func TestGroupSendFirstReplyWins(t *testing.T) {
 		lh := vid.LHID(20 + i)
 		r.place(lh, i)
 		p := r.hosts[i].eng.NewPort(vid.NewPID(lh, 16))
-		r.hosts[i].groups[group] = []vid.PID{p.PID()}
+		r.hosts[i].join(group, p.PID())
 		d := delays[i-1]
 		id := uint32(i)
 		r.sim.Spawn("member", func(tk *sim.Task) {

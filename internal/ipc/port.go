@@ -48,7 +48,7 @@ type sendTxn struct {
 	reply  vid.Message
 	code   uint16 // failure code when done && code != OK
 	silent int    // retransmissions since last evidence of life
-	timer  *sim.Timer
+	timer  sim.Timer
 
 	// Failure-detector evidence: the station the request was last
 	// transmitted to (0 until a unicast route resolved) and the last
@@ -61,7 +61,7 @@ type sendTxn struct {
 	gather  bool
 	replies []GatherReply
 	seen    map[vid.PID]bool // responders already recorded (dedup)
-	wtimer  *sim.Timer       // window expiry
+	wtimer  sim.Timer        // window expiry
 }
 
 // GatherReply is one responder's answer to a gathering send.
@@ -79,6 +79,11 @@ type Req struct {
 	txid uint32
 	from ethernet.MAC
 }
+
+// TxID exposes the request's transaction id — stable across the sender's
+// retransmissions, so servers can derive per-transaction deterministic
+// choices from it (e.g. a response-dally slot).
+func (r *Req) TxID() uint32 { return r.txid }
 
 type cachedReply struct {
 	txid    uint32
@@ -115,10 +120,8 @@ func (p *Port) Close() {
 		return
 	}
 	p.closed = true
-	if p.send != nil && p.send.timer != nil {
+	if p.send != nil {
 		p.send.timer.Stop()
-	}
-	if p.send != nil && p.send.wtimer != nil {
 		p.send.wtimer.Stop()
 	}
 	delete(p.eng.ports, p.pid)
@@ -191,9 +194,7 @@ func (p *Port) endGather(s *sendTxn) {
 		return
 	}
 	s.done = true
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	if len(s.replies) == 0 {
 		s.code = vid.CodeTimeout
 	}
@@ -293,9 +294,10 @@ func (p *Port) transmitOn(t *sim.Task, retrans bool) {
 	s := p.send
 	pkt := &packet.Packet{Kind: packet.KRequest, TxID: s.txid, Src: p.pid, Dst: s.dst, Msg: s.msg}
 	if s.group {
-		// Wire broadcast plus fan-out to local members.
+		// Wire multicast (member stations' receive filters accept it)
+		// plus fan-out to local members.
 		p.eng.cpu.Use(t, params.SmallPktSendCPU, params.PrioKernel)
-		p.eng.transmitFrame(t, pkt, ethernet.Broadcast, false)
+		p.eng.transmitFrame(t, pkt, ethernet.Multicast(uint16(s.dst.LH())), false)
 		local := *pkt
 		p.eng.emitLocal(&local)
 		return
@@ -364,12 +366,8 @@ func (p *Port) completeSend(msg vid.Message) {
 	}
 	s.done = true
 	s.reply = msg
-	if s.timer != nil {
-		s.timer.Stop()
-	}
-	if s.wtimer != nil {
-		s.wtimer.Stop()
-	}
+	s.timer.Stop()
+	s.wtimer.Stop()
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
 	if p.winq != nil {
@@ -385,12 +383,8 @@ func (p *Port) failSend(txid uint32, code uint16) {
 	}
 	s.done = true
 	s.code = code
-	if s.timer != nil {
-		s.timer.Stop()
-	}
-	if s.wtimer != nil {
-		s.wtimer.Stop()
-	}
+	s.timer.Stop()
+	s.wtimer.Stop()
 	delete(p.eng.txBuf, reasmKey{src: p.pid, dst: s.dst, txid: s.txid, kind: packet.KRequest})
 	p.replyWait.WakeAll()
 	if p.winq != nil {

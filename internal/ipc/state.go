@@ -146,9 +146,7 @@ func (p *Port) Activate() {
 	if s == nil || s.done || p.closed {
 		return
 	}
-	if s.timer != nil {
-		s.timer.Stop()
-	}
+	s.timer.Stop()
 	p.retransmit()
 	p.armTimer()
 }

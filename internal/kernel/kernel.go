@@ -38,6 +38,7 @@ type Host struct {
 
 	lhs       map[vid.LHID]*LogicalHost
 	nextLH    uint16
+	retiredLH map[vid.LHID]bool // ids migrated away; never re-mint locally
 	groups    map[vid.PID][]vid.PID
 	wellKnown map[uint16]vid.PID
 	systemLH  *LogicalHost
@@ -86,6 +87,7 @@ func NewHost(eng *sim.Engine, bus *ethernet.Bus, index int, name string) *Host {
 		CPU:               cpu.New(eng),
 		NIC:               bus.Attach(ethernet.MAC(index + 1)),
 		lhs:               make(map[vid.LHID]*LogicalHost),
+		retiredLH:         make(map[vid.LHID]bool),
 		groups:            make(map[vid.PID][]vid.PID),
 		wellKnown:         make(map[uint16]vid.PID),
 		memFree:           params.WorkstationMemory - systemReserve,
@@ -214,6 +216,9 @@ func (h *Host) Crash() {
 		}
 	}
 	h.lhs = make(map[vid.LHID]*LogicalHost)
+	for g := range h.groups {
+		h.NIC.LeaveMulticast(ethernet.Multicast(uint16(g.LH())))
+	}
 	h.groups = make(map[vid.PID][]vid.PID)
 	h.wellKnown = make(map[uint16]vid.PID)
 	h.OnLHEmpty = nil
@@ -288,20 +293,29 @@ func (r *hostResolver) DeferWhenFrozen(dst vid.PID, op uint16) bool {
 // manager) to a concrete local port.
 func (h *Host) RegisterWellKnown(idx uint16, pid vid.PID) { h.wellKnown[idx] = pid }
 
-// JoinGroup adds a local port to a global process group.
+// JoinGroup adds a local port to a global process group. The first local
+// member programs the group's multicast address into the NIC's receive
+// filter, so group traffic only costs kernels that host a member.
 func (h *Host) JoinGroup(g vid.PID, pid vid.PID) {
 	if !g.IsGroup() {
 		panic("kernel: JoinGroup with non-group id")
 	}
+	if len(h.groups[g]) == 0 {
+		h.NIC.JoinMulticast(ethernet.Multicast(uint16(g.LH())))
+	}
 	h.groups[g] = append(h.groups[g], pid)
 }
 
-// LeaveGroup removes a local port from a group.
+// LeaveGroup removes a local port from a group; the last member out
+// deprograms the multicast filter.
 func (h *Host) LeaveGroup(g vid.PID, pid vid.PID) {
 	ms := h.groups[g]
 	for i, m := range ms {
 		if m == pid {
 			h.groups[g] = append(ms[:i], ms[i+1:]...)
+			if len(h.groups[g]) == 0 {
+				h.NIC.LeaveMulticast(ethernet.Multicast(uint16(g.LH())))
+			}
 			return
 		}
 	}
@@ -335,16 +349,28 @@ type LogicalHost struct {
 	memUsed uint32
 }
 
-// newLH allocates a logical host with an id from this host's range
-// (hostIndex in the high byte). LHID allocation is decentralized, like V's.
+// newLH allocates a logical host with an id from this host's range (the
+// station address in the LHID's station field). LHID allocation is
+// decentralized, like V's. Slots recycle round-robin once their logical
+// host is destroyed — a long run executes an unbounded number of guest
+// programs per host — but ids migrated away stay retired (see RetireLHID):
+// the identity lives on at the destination and must never be re-minted
+// here.
 func (h *Host) newLH(name string, guest, system bool) *LogicalHost {
-	h.nextLH++
-	id := vid.LHID(uint16(h.HostIndex+1)<<8 | h.nextLH&0xFF)
-	if h.nextLH > 0xFF {
-		panic("kernel: logical-host ids exhausted")
+	station := uint16(h.HostIndex + 1)
+	var id vid.LHID
+	found := false
+	for i := 0; i < vid.LHSlotCount; i++ {
+		h.nextLH++
+		cand := vid.NewHostLH(station, h.nextLH%vid.LHSlotCount)
+		if _, live := h.lhs[cand]; !live && !h.retiredLH[cand] {
+			id = cand
+			found = true
+			break
+		}
 	}
-	if _, dup := h.lhs[id]; dup {
-		panic("kernel: duplicate LHID")
+	if !found {
+		panic("kernel: logical-host ids exhausted")
 	}
 	lh := &LogicalHost{
 		id:        id,
@@ -522,6 +548,12 @@ func (h *Host) ChangeLHID(lh *LogicalHost, final vid.LHID) error {
 	}
 	return nil
 }
+
+// RetireLHID marks an id from this host's allocation range as permanently
+// unavailable. The migration source calls it after destroying its copy of
+// a migrated logical host: the identity is now resident elsewhere, so the
+// slot must never be recycled into a fresh, colliding logical host.
+func (h *Host) RetireLHID(id vid.LHID) { h.retiredLH[id] = true }
 
 // DestroyLH deletes a logical host: processes die, ports close (queued
 // messages are discarded; senders re-send to the new copy, §3.1.3), and

@@ -106,7 +106,19 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 // the name-server group, retrying until a name server accepts it. Resident
 // servers call this at boot.
 func RegisterSelf(h *kernel.Host, name string, pid vid.PID) {
+	RegisterSelfAt(h, name, pid, 0)
+}
+
+// RegisterSelfAt is RegisterSelf with an initial delay. Large clusters
+// stagger their hosts' boot registrations: several hundred simultaneous
+// group sends against the one name server generate a retransmission herd
+// whose packet-processing load alone exceeds the server host's capacity,
+// so the herd never drains.
+func RegisterSelfAt(h *kernel.Host, name string, pid vid.PID, delay time.Duration) {
 	h.SpawnServer("register:"+name, 4096, func(ctx *kernel.ProcCtx) {
+		if delay > 0 {
+			ctx.Sleep(delay)
+		}
 		for attempt := 0; attempt < 20; attempt++ {
 			m, err := ctx.Send(vid.GroupNameServers, vid.Message{
 				Op:  NsRegister,

@@ -74,6 +74,14 @@ const (
 	// SmallPktRecvCPU is kernel CPU to accept and dispatch a small packet.
 	SmallPktRecvCPU = 700 * time.Microsecond
 
+	// LoadAdRecvCPU is kernel CPU to consume a load-advertisement beacon:
+	// a fixed-format datagram folded into the load cache at interrupt
+	// level — no reply, no reassembly, no process delivery. Charging the
+	// full SmallPktRecvCPU here makes the 1 Hz beacon a 35% CPU tax on
+	// every kernel of a 500-host cluster (N beacons/s × 700 µs); the
+	// fast path keeps cluster-wide dissemination affordable.
+	LoadAdRecvCPU = 100 * time.Microsecond
+
 	// BulkSendCPU is kernel CPU per full-size (1 KB payload) data frame.
 	BulkSendCPU = 2150 * time.Microsecond
 
@@ -243,8 +251,41 @@ const (
 
 	// BindingCacheCap bounds the per-host logical-host→station binding
 	// cache (§3.1.4); beyond it the least recently used binding is evicted
-	// and must be re-located on next use.
+	// and must be re-located on next use. Clusters raise the per-engine
+	// capacity to their machine count (ipc.Engine.SetBindingCacheCap):
+	// a server host needs a live reply-path binding per client, or a
+	// full-cluster burst turns every evicted binding into a locate
+	// broadcast that the retransmitting herd regenerates faster than it
+	// resolves.
 	BindingCacheCap = 64
+
+	// SelectDallyPerHost scales the multicast select-response dally window
+	// with cluster size: hosts answering a multicast query delay their
+	// reply by a deterministic slot in [0, hosts × SelectDallyPerHost),
+	// spreading the reply implosion that otherwise jams the shared segment
+	// when hundreds of probes finish simultaneously. Unicast probes are
+	// never dallied.
+	SelectDallyPerHost = 100 * time.Microsecond
+
+	// SelectDallyMax caps the dally window so the slowest slot (plus the
+	// ≈19 ms probe evaluation) still lands inside SelectGatherWindow.
+	SelectDallyMax = 60 * time.Millisecond
+
+	// SelectDallyMinHosts is the cluster size below which replies are not
+	// dallied: small clusters cannot implode, and the paper's measured
+	// selection times (≈23 ms on a handful of machines) stay exact.
+	SelectDallyMinHosts = 64
+
+	// SelectReplyTarget is the expected number of responders to a
+	// multicast select query on a large cluster. The query carries a
+	// reply-permille; each manager hashes (MAC, TxID) against it and most
+	// stay silent — without thinning, a 500-host cluster answers every
+	// placement with ~500 replies the submitter's kernel must digest at
+	// SmallPktRecvCPU each, and every host pays the ~19 ms probe
+	// evaluation. Thinned-out hosts drop the query before evaluating.
+	// Gated by SelectDallyMinHosts like the dally; unicast probes are
+	// never thinned.
+	SelectReplyTarget = 32
 )
 
 // --------------------------------------------------------- fault tolerance

@@ -171,6 +171,13 @@ type PM struct {
 	// Selector, when wired (by core), runs host selection for session
 	// recovery and eviction re-execution.
 	Selector *sched.Selector
+	// SelectDally, when non-zero (set by core for large clusters), is the
+	// window over which replies to *multicast* select queries are spread:
+	// each willing host sleeps a deterministic slot derived from its
+	// station address and the query's transaction id before answering.
+	// Without it, every idle host finishes the probe evaluation at the
+	// same instant and the reply implosion jams the shared segment.
+	SelectDally time.Duration
 
 	progs  map[vid.LHID]*progInfo
 	exited map[vid.LHID]uint32  // recently exited: exit codes for late waiters
@@ -440,7 +447,7 @@ func (pm *PM) reexecElsewhere(ctx *kernel.ProcCtx, lhid vid.LHID, pi *progInfo) 
 	pm.sup.ExecRestarts++
 	pm.host.Trace().Publish(trace.Event{
 		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvExecRestart,
-		LH: newLH, Peer: uint16(l.SystemLH >> 8),
+		LH: newLH, Peer: l.SystemLH.Station(),
 	})
 	for _, w := range pi.waiters {
 		pm.replyAsPM(ctx, w, movedReply(PmWaitProgram, lhid, movedTo{pm: l.PM, lh: newLH}))
@@ -473,13 +480,22 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 			// flags: a relaxed query is answered with the load even when
 			// the CPU is busy, and a unicast probe earns an explicit
 			// refusal where a multicast would get silence.
-			flags := m.W[5]
+			flags := m.W[5] & 0xFFFF
 			refuse := func() {
 				if flags&sched.QueryUnicast != 0 {
 					ctx.Reply(req, vid.ErrMsg(vid.CodeRefused))
 				} else {
 					port.Drop(req)
 				}
+			}
+			// Reply thinning: on large clusters the query's high flag half
+			// carries a permille; most managers hash themselves out before
+			// paying the probe evaluation, bounding both the cluster-wide
+			// evaluation cost and the reply implosion at the submitter.
+			if permille := m.W[5] >> 16; permille > 0 && flags&sched.QueryUnicast == 0 &&
+				replyLottery(uint64(pm.host.NIC.MAC()), req.TxID()) >= permille {
+				port.Drop(req)
+				continue
 			}
 			self := uint32(pm.host.SystemLH().ID())
 			if m.W[1] == self || m.W[2] == self || m.W[3] == self || m.W[4] == self {
@@ -492,6 +508,9 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 			if !willing {
 				refuse()
 				continue
+			}
+			if pm.SelectDally > 0 && flags&sched.QueryUnicast == 0 {
+				ctx.Sleep(dallySlot(uint64(pm.host.NIC.MAC()), req.TxID(), pm.SelectDally))
 			}
 			ctx.Reply(req, vid.Message{Op: m.Op, W: pm.host.LoadWords()})
 
@@ -638,6 +657,9 @@ func (pm *PM) createProgram(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 
 	imgBytes, fsPID, err := pm.loadFile(ctx, progName)
 	if err != nil {
+		if ce, ok := err.(vid.CodeError); ok {
+			return vid.ErrMsg(uint16(ce))
+		}
 		return vid.ErrMsg(vid.CodeNotFound)
 	}
 	img, err := image.Decode(imgBytes)
@@ -705,7 +727,7 @@ func (pm *PM) loadFile(ctx *kernel.ProcCtx, name string) ([]byte, vid.PID, error
 		pm.fsPID = vid.Nil
 		st, err = ctx.Send(vid.GroupFileServers, vid.Message{Op: fsOpStat, Seg: []byte(name)})
 		if err != nil || !st.OK() {
-			return nil, vid.Nil, vid.CodeError(vid.CodeNotFound)
+			return nil, vid.Nil, fsError(st, err)
 		}
 	}
 	if pid := vid.PID(st.W[5]); pid != vid.Nil {
@@ -722,11 +744,57 @@ func (pm *PM) loadFile(ctx *kernel.ProcCtx, name string) ([]byte, vid.PID, error
 			Op: fsOpRead, W: [6]uint32{uint32(off), uint32(n)}, Seg: []byte(name),
 		})
 		if err != nil || !r.OK() {
-			return nil, vid.Nil, vid.CodeError(vid.CodeNotFound)
+			return nil, vid.Nil, fsError(r, err)
 		}
 		out = append(out, r.Seg...)
 	}
 	return out, pm.fsPID, nil
+}
+
+// dallySlot spreads multicast select replies over a window: a
+// deterministic hash of (station, transaction) picks the slot, so a
+// retransmitted query meets the same reply schedule and double runs stay
+// byte-identical.
+func dallySlot(mac uint64, txid uint32, window time.Duration) time.Duration {
+	us := uint64(window / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	return time.Duration(selectMix(mac, txid)%us) * time.Microsecond
+}
+
+// replyLottery draws this host's deterministic permille ticket for a
+// thinned multicast query. Salted differently from dallySlot so the
+// sample of repliers and their dally slots stay uncorrelated.
+func replyLottery(mac uint64, txid uint32) uint32 {
+	return uint32(selectMix(mac^0xA5A5A5A5A5A5A5A5, txid) % 1000)
+}
+
+// selectMix hashes (station, transaction) into a well-spread 64-bit
+// value; retransmissions reuse the TxID, so a host's draw is stable
+// across resends of the same query.
+func selectMix(mac uint64, txid uint32) uint64 {
+	h := mac*0x9E3779B97F4A7C15 ^ uint64(txid)*0xC2B2AE3D27D4EB4F
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+// fsError keeps the transport's verdict on a failed file-server RPC. A
+// congested or dead server yields CodeTimeout/CodeHostDown — transient
+// conditions the exec layer may retry; only the server's own answer is
+// allowed to say an image does not exist. Collapsing every failure to
+// not-found (the old behavior) made a saturated file server
+// indistinguishable from a typo in the program name.
+func fsError(m vid.Message, err error) error {
+	if err != nil {
+		return err
+	}
+	if m.Code == vid.CodeOK {
+		return vid.CodeError(vid.CodeNotFound)
+	}
+	return vid.CodeError(m.Code)
 }
 
 func orGroup(pid vid.PID) vid.PID {
@@ -1065,7 +1133,7 @@ func (pm *PM) NoteExited(lhid vid.LHID, code uint32) {
 // next renewal.
 func (pm *PM) NoteHostDown(mac uint16) {
 	for _, s := range pm.sessions {
-		if s.state == sessionActive && uint16(s.hostLH>>8) == mac {
+		if s.state == sessionActive && s.hostLH.Station() == mac {
 			s.state = sessionBroken
 			s.nextRetry = pm.host.Eng.Now()
 		}
@@ -1225,7 +1293,7 @@ func (pm *PM) expireLease(ctx *kernel.ProcCtx, s *session) {
 	pm.sup.LeaseExpires++
 	pm.host.Trace().Publish(trace.Event{
 		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvLeaseExpire,
-		LH: s.cur, Peer: uint16(s.hostLH >> 8),
+		LH: s.cur, Peer: s.hostLH.Station(),
 	})
 }
 
@@ -1312,7 +1380,7 @@ func (pm *PM) reexecSession(ctx *kernel.ProcCtx, s *session) bool {
 	pm.sup.ExecRestarts++
 	pm.host.Trace().Publish(trace.Event{
 		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvExecRestart,
-		LH: newLH, Peer: uint16(l.SystemLH >> 8), Prio: s.incarnation,
+		LH: newLH, Peer: l.SystemLH.Station(), Prio: s.incarnation,
 	})
 	pm.flushWaiters(ctx, s, movedReply(PmWaitProgram, s.orig, movedTo{pm: s.hostPM, lh: s.cur}))
 	return true

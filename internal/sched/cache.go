@@ -143,7 +143,7 @@ func (c *Cache) Candidates(minMem uint32, exclude map[vid.LHID]bool) []Load {
 // advertisements arrive it must not be selected from stale state).
 func (c *Cache) DropHost(mac uint16) {
 	for lh := range c.ents {
-		if uint16(lh>>8) == mac {
+		if lh.Station() == mac {
 			delete(c.ents, lh)
 			c.Negative(lh)
 			c.invalidations++

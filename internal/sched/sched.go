@@ -28,9 +28,10 @@ import (
 	"vsystem/internal/vid"
 )
 
-// Query flag bits, carried in W5 of a PmSelectHost request. The zero
-// value is the paper's original query: answer only if willing (idle and
-// enough memory), stay silent otherwise.
+// Query flag bits, carried in the low half of W5 of a PmSelectHost
+// request; the high half carries the reply-permille (0 = everyone
+// answers). The zero value is the paper's original query: answer only if
+// willing (idle and enough memory), stay silent otherwise.
 const (
 	// QueryUnicast marks a directed probe of one manager: the manager
 	// answers CodeRefused instead of staying silent, so the prober can
@@ -79,8 +80,8 @@ func (l Load) Words() [6]uint32 {
 }
 
 // MAC returns the host's station address (the system logical-host id
-// carries the host index + 1 in its high byte).
-func (l Load) MAC() uint16 { return uint16(l.SystemLH >> 8) }
+// carries the allocating station in its station field).
+func (l Load) MAC() uint16 { return l.SystemLH.Station() }
 
 // Better is the canonical deterministic load ordering: fewer ready
 // program-priority requests, then fewer resident programs, then more free

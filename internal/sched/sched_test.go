@@ -11,10 +11,10 @@ import (
 )
 
 // ld builds a selectable advertisement for the host at the given station
-// address (the system logical-host id carries the station in its high
-// byte, matching the kernel's layout).
+// address (the system logical-host id carries the station in its station
+// field, matching the kernel's layout).
 func ld(mac uint16, ready int, memKB uint32) Load {
-	lh := vid.LHID(uint32(mac)<<8 | 1)
+	lh := vid.NewHostLH(mac, 1)
 	return Load{
 		SystemLH: lh, MemFree: memKB * 1024, Ready: ready,
 		PM: vid.NewPID(lh, 3),
@@ -28,8 +28,8 @@ func (c *testClock) advance(d time.Duration) { c.now = c.now.Add(d) }
 func (c *testClock) fn() func() sim.Time     { return func() sim.Time { return c.now } }
 
 func TestLoadWordsRoundTrip(t *testing.T) {
-	l := Load{SystemLH: 0x0301, MemFree: 640 * 1024, Ready: 2,
-		Residents: 1, UtilPermille: 750, PM: vid.NewPID(0x0301, 3)}
+	l := Load{SystemLH: vid.NewHostLH(3, 1), MemFree: 640 * 1024, Ready: 2,
+		Residents: 1, UtilPermille: 750, PM: vid.NewPID(vid.NewHostLH(3, 1), 3)}
 	if got := LoadFromWords(l.Words()); got != l {
 		t.Fatalf("round trip: got %+v, want %+v", got, l)
 	}
@@ -45,8 +45,8 @@ func TestBetterOrdering(t *testing.T) {
 	}{
 		{"fewer ready wins", ld(1, 0, 512), ld(2, 1, 1024)},
 		{"fewer residents breaks ready tie",
-			Load{SystemLH: 0x0101, Ready: 1, Residents: 0, PM: 1},
-			Load{SystemLH: 0x0201, Ready: 1, Residents: 2, PM: 1}},
+			Load{SystemLH: vid.NewHostLH(1, 1), Ready: 1, Residents: 0, PM: 1},
+			Load{SystemLH: vid.NewHostLH(2, 1), Ready: 1, Residents: 2, PM: 1}},
 		{"more memory breaks residents tie", ld(1, 1, 1024), ld(2, 1, 512)},
 		{"lower id is the final tiebreak", ld(1, 1, 512), ld(2, 1, 512)},
 	}

@@ -42,6 +42,14 @@ type Selector struct {
 	Policy Policy
 	Cache  *Cache
 
+	// ReplyPermille, when non-zero, is stamped into the high half of the
+	// query's flag word: each manager hashes (MAC, TxID) against it and
+	// only ~N×permille/1000 answer a multicast query. Large clusters set
+	// it to keep the expected responder count near
+	// params.SelectReplyTarget; zero means every willing host answers
+	// (the paper's protocol, kept exact on small clusters).
+	ReplyPermille uint32
+
 	group vid.PID
 	op    uint16
 	host  uint16 // station MAC, for trace events
@@ -115,7 +123,7 @@ func (s *Selector) Select(tx Sender, minMem uint32, exclude ...vid.LHID) (Load, 
 	// Cold path: gather every answer within the window and let the
 	// policy rank them. Relaxed — busy hosts answer with their load.
 	wq := w
-	wq[5] = QueryRelaxed
+	wq[5] = QueryRelaxed | s.ReplyPermille<<16
 	for attempt := 0; attempt < 2; attempt++ {
 		s.stats.Multicasts++
 		rs, err := tx.SendGather(s.group, vid.Message{Op: s.op, W: wq}, params.SelectGatherWindow)
@@ -147,7 +155,10 @@ func (s *Selector) Select(tx Sender, minMem uint32, exclude ...vid.LHID) (Load, 
 
 // selectFirst is the paper's protocol, kept call-for-call identical to
 // the pre-sched implementation: two strict first-response multicasts.
+// On large clusters the query carries the reply-permille so only a
+// deterministic sample evaluates and answers.
 func (s *Selector) selectFirst(tx Sender, w [6]uint32) (Load, error) {
+	w[5] |= s.ReplyPermille << 16
 	for attempt := 0; attempt < 2; attempt++ {
 		s.stats.Multicasts++
 		m, err := tx.Send(s.group, vid.Message{Op: s.op, W: w})

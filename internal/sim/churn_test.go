@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTimerChurnReleasesEvents models the ipc retransmission pattern at
+// cluster scale: every send transaction arms a retransmit timer and stops
+// it milliseconds later when the reply lands, so almost no timer ever
+// fires. Stopped timers must leave the heap eagerly — if Stop merely
+// marks the event dead, 100k cancelled timers accumulate as tombstones
+// (retaining their closures) until their 200 ms deadlines pop.
+func TestTimerChurnReleasesEvents(t *testing.T) {
+	e := NewEngine(1)
+	// A live periodic event (a load beacon, say) keeps the heap top
+	// occupied so lazily-discarded tombstones would hide behind it.
+	var beacon func()
+	beacon = func() { e.After(100*time.Millisecond, beacon) }
+	beacon()
+	const batches, perBatch = 1000, 100
+	for b := 0; b < batches; b++ {
+		for i := 0; i < perBatch; i++ {
+			tm := e.After(200*time.Millisecond, func() {
+				t.Error("cancelled timer fired")
+			})
+			if !tm.Stop() {
+				t.Fatal("Stop on a pending timer reported not pending")
+			}
+		}
+		e.RunFor(time.Millisecond) // replies land; clock moves on
+		if p := e.Pending(); p > perBatch {
+			t.Fatalf("after batch %d: %d events pending — stopped timers retained in heap", b, p)
+		}
+	}
+}
+
+func benchNop() {}
+
+// BenchmarkEngineAtStop is the arm-then-cancel hot path: one timer armed
+// 200 ms out and stopped before it can fire, with the clock trickling
+// forward as in a live protocol run.
+func BenchmarkEngineAtStop(b *testing.B) {
+	e := NewEngine(1)
+	var beacon func()
+	beacon = func() { e.After(100*time.Millisecond, beacon) }
+	beacon()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(200*time.Millisecond, benchNop)
+		tm.Stop()
+		if i%64 == 63 {
+			e.RunFor(time.Microsecond)
+		}
+	}
+}
+
+// BenchmarkEngineStep measures raw event dispatch: a self-rescheduling
+// chain of one-shot events, the engine's innermost loop.
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

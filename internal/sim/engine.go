@@ -35,26 +35,39 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// event is a scheduled callback.
+// event is a scheduled callback or task resumption. Events are pooled:
+// after firing or being stopped they return to the engine's free list,
+// and gen is bumped so stale Timer handles cannot touch the recycled slot.
 type event struct {
-	at      Time
-	seq     uint64 // FIFO tie-break for events at the same instant
-	fn      func()
-	stopped bool
-	index   int // heap index, -1 when popped
+	at     Time
+	seq    uint64 // FIFO tie-break for events at the same instant
+	fn     func()
+	task   *Task // when non-nil, resume this task instead of calling fn
+	reason WakeReason
+	gen    uint32
+	index  int // heap index, -1 when popped
 }
 
-// Timer is a handle to a scheduled event; Stop cancels it.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event; Stop cancels it. The zero Timer
+// is valid and Stop on it reports false.
+type Timer struct {
+	eng *Engine
+	ev  *event
+	gen uint32
+}
 
-// Stop cancels the timer. It reports whether the timer was still pending.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.stopped {
+// Stop cancels the timer, eagerly removing its event from the heap and
+// releasing the callback so cancelled timers cost nothing past this call.
+// It reports whether the timer was still pending; after the event has
+// fired — including from inside the timer's own callback — it returns
+// false.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.index < 0 {
 		return false
 	}
-	pending := t.ev.index >= 0
-	t.ev.stopped = true
-	return pending
+	heap.Remove(&t.eng.events, t.ev.index)
+	t.eng.release(t.ev)
+	return true
 }
 
 type eventHeap []*event
@@ -85,11 +98,16 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// maxFree caps the event free list; beyond it, released events are left
+// to the garbage collector.
+const maxFree = 1 << 16
+
 // Engine is a discrete-event simulator instance.
 type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*event // recycled events
 	rng     *rand.Rand
 	running *Task // task currently executing, nil when in plain events
 	tasks   int   // live task count, for leak diagnostics
@@ -108,38 +126,84 @@ func (e *Engine) Now() Time { return e.now }
 // in a simulation (loss, jitter) must draw from it to stay reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at instant t. Scheduling in the past is an error in
-// the simulation logic and panics.
-func (e *Engine) At(t Time, fn func()) *Timer {
+// alloc takes an event from the free list, or makes one.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{index: -1}
+}
+
+// release clears an event (dropping the closure immediately), invalidates
+// outstanding Timer handles, and recycles it.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	ev.task = nil
+	ev.gen++
+	if len(e.free) < maxFree {
+		e.free = append(e.free, ev)
+	}
+}
+
+// schedule pushes ev onto the heap at instant t.
+func (e *Engine) schedule(t Time, ev *event) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev.at, ev.seq = t, e.seq
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+}
+
+// At schedules fn to run at instant t. Scheduling in the past is an error in
+// the simulation logic and panics.
+func (e *Engine) At(t Time, fn func()) Timer {
+	ev := e.alloc()
+	ev.fn = fn
+	e.schedule(t, ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now.Add(d), fn)
 }
 
+// resumeAfter schedules a task resumption d from now without allocating a
+// closure — the hot path for Sleep/WakeOne/Spawn at cluster scale.
+func (e *Engine) resumeAfter(d time.Duration, t *Task, reason WakeReason) Timer {
+	if d < 0 {
+		d = 0
+	}
+	ev := e.alloc()
+	ev.task, ev.reason = t, reason
+	e.schedule(e.now.Add(d), ev)
+	return Timer{eng: e, ev: ev, gen: ev.gen}
+}
+
 // Step runs the next pending event. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.stopped {
-			continue
-		}
-		e.now = ev.at
-		ev.fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	fn, task, reason := ev.fn, ev.task, ev.reason
+	// Release before running: tasks never reenter Step, and handing the
+	// event back first makes Stop from inside the callback a clean no-op.
+	e.release(ev)
+	if task != nil {
+		task.dispatch(reason)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run processes events until the event heap is empty.
@@ -151,15 +215,7 @@ func (e *Engine) Run() {
 // RunUntil processes events with timestamps <= t and then sets the clock to
 // t. Events scheduled later remain pending.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.stopped {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -170,8 +226,8 @@ func (e *Engine) RunUntil(t Time) {
 // RunFor advances the simulation by d of virtual time.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 
-// Pending reports the number of events still scheduled (including stopped
-// events not yet discarded).
+// Pending reports the number of live scheduled events; stopped timers
+// leave the heap immediately and are never counted.
 func (e *Engine) Pending() int { return len(e.events) }
 
 // LiveTasks reports the number of spawned tasks that have not finished.

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTimerStopFromOwnCallback pins the semantics of Stop called while —
+// or after — the timer's own callback runs: it reports false and the
+// callback never runs twice, even though the event slot may have been
+// recycled for an unrelated timer by then.
+func TestTimerStopFromOwnCallback(t *testing.T) {
+	e := NewEngine(1)
+	runs := 0
+	var tm Timer
+	tm = e.After(time.Millisecond, func() {
+		runs++
+		if tm.Stop() {
+			t.Error("Stop from inside own callback reported pending")
+		}
+		// Recycle the slot: this timer reuses the just-released event,
+		// and the stale handle must not be able to cancel it.
+		e.After(time.Millisecond, func() { runs += 100 })
+		if tm.Stop() {
+			t.Error("stale handle cancelled a recycled event")
+		}
+	})
+	e.Run()
+	if runs != 101 {
+		t.Fatalf("runs = %d, want 101 (callback once, recycled event once)", runs)
+	}
+	if tm.Stop() {
+		t.Error("Stop after the run reported pending")
+	}
+}
+
+// TestSameInstantFIFOAtScale is the ordering property test at 10^5
+// events: everything scheduled for one instant runs in scheduling order,
+// even with a deterministic third of the events cancelled in between
+// (heap.Remove must not perturb the (at, seq) ordering of survivors).
+func TestSameInstantFIFOAtScale(t *testing.T) {
+	e := NewEngine(1)
+	const n = 100000
+	rng := rand.New(rand.NewSource(7))
+	at := e.Now().Add(time.Second)
+	var got []int
+	timers := make([]Timer, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		timers = append(timers, e.At(at, func() { got = append(got, i) }))
+	}
+	want := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			if !timers[i].Stop() {
+				t.Fatalf("timer %d: Stop reported not pending", i)
+			}
+		} else {
+			want = append(want, i)
+		}
+	}
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("%d events ran, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: ran event %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -70,7 +70,7 @@ func (e *Engine) Spawn(name string, fn func(*Task)) *Task {
 		}
 		fn(t)
 	}()
-	e.After(0, func() { t.dispatch(WakeSignal) })
+	e.resumeAfter(0, t, WakeSignal)
 	return t
 }
 
@@ -112,7 +112,7 @@ func (t *Task) park() WakeReason {
 
 // Sleep suspends the task for d of virtual time.
 func (t *Task) Sleep(d time.Duration) {
-	t.eng.After(d, func() { t.dispatch(WakeSignal) })
+	t.eng.resumeAfter(d, t, WakeSignal)
 	t.park()
 }
 
@@ -134,7 +134,7 @@ func (t *Task) Kill() {
 	}
 	if t.eng.running != t {
 		// Parked (or not yet started): resume it so it unwinds.
-		t.eng.After(0, func() { t.dispatch(WakeAbort) })
+		t.eng.resumeAfter(0, t, WakeAbort)
 	}
 }
 
@@ -196,7 +196,7 @@ func (q *WaitQ) WakeOne() bool {
 		t := q.waiters[0]
 		q.waiters = q.waiters[1:]
 		t.waitq = nil
-		t.eng.After(0, func() { t.dispatch(WakeSignal) })
+		t.eng.resumeAfter(0, t, WakeSignal)
 		return true
 	}
 	return false

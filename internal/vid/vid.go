@@ -24,6 +24,35 @@ const GroupBit LHID = 0x8000
 // IsGroup reports whether the id lies in the group-id space.
 func (l LHID) IsGroup() bool { return l&GroupBit != 0 }
 
+// Real (non-group) LHIDs are allocated decentrally: the 15 usable bits
+// split into a 10-bit station field (the allocating host's Ethernet
+// address, so allocation needs no coordination) and a 5-bit per-host
+// slot. The station field bounds cluster size at LHStationMax hosts; the
+// slot field bounds LHs live on one host at LHSlotCount (slots recycle
+// once a logical host is destroyed).
+const (
+	LHSlotBits   = 5
+	LHSlotCount  = 1 << LHSlotBits
+	LHStationMax = 1<<(15-LHSlotBits) - 1
+)
+
+// NewHostLH builds the LHID for a station's slot.
+func NewHostLH(station, slot uint16) LHID {
+	if station == 0 || station > LHStationMax {
+		panic(fmt.Sprintf("vid: station %d outside the LHID station field", station))
+	}
+	return LHID(station<<LHSlotBits | slot&(LHSlotCount-1))
+}
+
+// Station returns the Ethernet address of the host that allocated the id
+// (zero for group ids, which no station owns).
+func (l LHID) Station() uint16 {
+	if l.IsGroup() {
+		return 0
+	}
+	return uint16(l) >> LHSlotBits
+}
+
 func (l LHID) String() string {
 	if l.IsGroup() {
 		return fmt.Sprintf("grp:%04x", uint16(l))

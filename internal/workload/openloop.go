@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vsystem/internal/image"
+)
+
+// JobClass describes one class of jobs in an open-loop arrival stream.
+// The two stock classes follow the latency-critical / best-effort split
+// that modern cluster schedulers (sigmaos's lcschedsrv/besched) make
+// explicit and that the paper's users made informally: short interactive
+// commands the owner is waiting on, and long batch compilations farmed
+// out to whatever machines are idle.
+type JobClass struct {
+	// Name tags the class in image names and report rows.
+	Name string
+	// Weight is the class's share of arrivals (weights need not sum to 1;
+	// they are normalized).
+	Weight float64
+	// MeanServiceMs is the mean of the exponential service-time draw.
+	MeanServiceMs float64
+	// MaxServiceMs truncates the draw (keeps the drain phase bounded).
+	MaxServiceMs float64
+	// QuantumMs buckets service times: each draw rounds up to a multiple,
+	// so the class needs only Max/Quantum distinct program images on the
+	// file server (a program's run length is baked into its image).
+	QuantumMs uint32
+	// HotKB / HotRateKBps parameterize the dirty-page behaviour of the
+	// running job (see Spec).
+	HotKB, HotRateKBps float64
+	// PadKB sets the stored image size — the bytes the file server must
+	// deliver for every execution of this class.
+	PadKB uint32
+}
+
+// LatencyCritical is an interactive-command class: sub-second exponential
+// service, small image.
+func LatencyCritical() JobClass {
+	return JobClass{
+		Name: "lc", Weight: 0.7,
+		MeanServiceMs: 400, MaxServiceMs: 2000, QuantumMs: 200,
+		HotKB: 8, HotRateKBps: 100, PadKB: 12,
+	}
+}
+
+// BestEffort is a batch-compilation class: multi-second service, a
+// cc68-sized image.
+func BestEffort() JobClass {
+	return JobClass{
+		Name: "be", Weight: 0.3,
+		MeanServiceMs: 2000, MaxServiceMs: 8000, QuantumMs: 500,
+		HotKB: 24, HotRateKBps: 50, PadKB: 48,
+	}
+}
+
+// Arrival is one job in the generated stream.
+type Arrival struct {
+	// At is the arrival instant, measured from the start of the stream.
+	At time.Duration
+	// Class indexes OpenLoop.Classes.
+	Class int
+	// ServiceMs is the quantized service demand.
+	ServiceMs uint32
+	// Program is the name of the pre-installed image for this job.
+	Program string
+}
+
+// OpenLoop generates a Poisson arrival stream over a set of job classes.
+// The generator is open-loop: arrivals are scheduled ahead of time and do
+// not slow down when the cluster backs up, which is what exposes p99/p999
+// turnaround differences between selection policies.
+type OpenLoop struct {
+	// RatePerSec is the aggregate arrival rate across all classes.
+	RatePerSec float64
+	// Duration is the span of the arrival stream.
+	Duration time.Duration
+	// Classes are the job classes; arrivals split by Weight.
+	Classes []JobClass
+	// Seed drives the generator's private rng (independent of the
+	// simulation engine's stream, so the same workload can replay against
+	// any cluster configuration).
+	Seed int64
+}
+
+// Schedule draws the full arrival stream. It is deterministic in Seed and
+// the generator parameters.
+func (o OpenLoop) Schedule() []Arrival {
+	rng := rand.New(rand.NewSource(o.Seed))
+	totalW := 0.0
+	for _, c := range o.Classes {
+		totalW += c.Weight
+	}
+	var out []Arrival
+	at := time.Duration(0)
+	for {
+		at += time.Duration(rng.ExpFloat64() / o.RatePerSec * float64(time.Second))
+		if at > o.Duration {
+			return out
+		}
+		ci := 0
+		w := rng.Float64() * totalW
+		for i, c := range o.Classes {
+			if w -= c.Weight; w < 0 {
+				ci = i
+				break
+			}
+		}
+		c := o.Classes[ci]
+		ms := c.quantize(rng.ExpFloat64() * c.MeanServiceMs)
+		out = append(out, Arrival{
+			At: at, Class: ci, ServiceMs: ms, Program: o.imageName(c, ms),
+		})
+	}
+}
+
+// quantize rounds a service-time draw up to the class's bucket grid,
+// clamped to [QuantumMs, MaxServiceMs].
+func (c JobClass) quantize(ms float64) uint32 {
+	if ms > c.MaxServiceMs {
+		ms = c.MaxServiceMs
+	}
+	q := c.QuantumMs
+	n := (uint32(ms) + q - 1) / q * q
+	if n < q {
+		n = q
+	}
+	return n
+}
+
+// imageName names the bucket image for a class and quantized service time.
+func (o OpenLoop) imageName(c JobClass, ms uint32) string {
+	return fmt.Sprintf("ol-%s-%dms", c.Name, ms)
+}
+
+// Images builds the bucket image set covering every service time
+// Schedule can draw, for pre-installation on the file server.
+func (o OpenLoop) Images() []*image.Image {
+	var imgs []*image.Image
+	for _, c := range o.Classes {
+		for ms := c.QuantumMs; float64(ms) <= c.MaxServiceMs; ms += c.QuantumMs {
+			imgs = append(imgs, Image(Spec{
+				Name:        o.imageName(c, ms),
+				HotKB:       c.HotKB,
+				HotRateKBps: c.HotRateKBps,
+				DurationMs:  ms,
+			}, c.PadKB*1024))
+		}
+	}
+	return imgs
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func testLoop() OpenLoop {
+	return OpenLoop{
+		RatePerSec: 10,
+		Duration:   100 * time.Second,
+		Classes:    []JobClass{LatencyCritical(), BestEffort()},
+		Seed:       42,
+	}
+}
+
+func TestOpenLoopDeterminism(t *testing.T) {
+	a, b := testLoop().Schedule(), testLoop().Schedule()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestOpenLoopRateAndMix(t *testing.T) {
+	o := testLoop()
+	arrivals := o.Schedule()
+	want := o.RatePerSec * o.Duration.Seconds()
+	if n := float64(len(arrivals)); n < want*0.8 || n > want*1.2 {
+		t.Errorf("got %v arrivals, want around %v", n, want)
+	}
+	byClass := map[int]int{}
+	last := time.Duration(0)
+	for _, a := range arrivals {
+		if a.At < last || a.At > o.Duration {
+			t.Fatalf("arrival out of order or range: %v after %v", a.At, last)
+		}
+		last = a.At
+		byClass[a.Class]++
+		c := o.Classes[a.Class]
+		if a.ServiceMs == 0 || a.ServiceMs%c.QuantumMs != 0 || float64(a.ServiceMs) > c.MaxServiceMs+float64(c.QuantumMs) {
+			t.Fatalf("service %dms off the %s bucket grid", a.ServiceMs, c.Name)
+		}
+	}
+	lcShare := float64(byClass[0]) / float64(len(arrivals))
+	if lcShare < 0.6 || lcShare > 0.8 {
+		t.Errorf("lc share = %.2f, want around 0.7", lcShare)
+	}
+}
+
+func TestOpenLoopImagesCoverSchedule(t *testing.T) {
+	o := testLoop()
+	have := map[string]bool{}
+	for _, img := range o.Images() {
+		have[img.Name] = true
+	}
+	for _, a := range o.Schedule() {
+		if !have[a.Program] {
+			t.Fatalf("arrival wants image %q, not in Images()", a.Program)
+		}
+	}
+}
