@@ -70,7 +70,7 @@ func main() {
 		n      = flag.Int("n", 4, "number of workstations")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		loss   = flag.Float64("loss", 0, "Ethernet frame loss probability")
-		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush")
+		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush|forwarding|postcopy|hybrid")
 		sel    = flag.String("select", "first", "host-selection policy: first|random|least")
 		window = flag.Int("window", params.CopyWindow, "bulk-transfer copy window (1 = stop-and-wait)")
 	)
@@ -88,15 +88,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	pol := core.PolicyPrecopy
-	switch *policy {
-	case "stopcopy":
-		pol = core.PolicyStopCopy
-	case "flush":
-		pol = core.PolicyFlush
-	case "precopy":
-	default:
-		fmt.Fprintln(os.Stderr, "vcluster: unknown policy", *policy)
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcluster:", err)
 		os.Exit(2)
 	}
 
@@ -371,6 +365,14 @@ func (r *repl) exec(line string) bool {
 			r.printf("  window %d: %d run(s), %d stall(s), occupancy %.1f, wire %.1f KB",
 				rep.WindowSize, rep.WindowSends, rep.WindowStalls, rep.WindowOccupancy,
 				float64(rep.WireBytes)/1024)
+			if rep.PostSwapFaults > 0 || rep.PostSwapPullKB > 0 || rep.ResiduePushKB > 0 {
+				r.printf("  post-swap: %d fault(s), %v stalled, pull %.1f KB (%.0f KB/s), push %.1f KB",
+					rep.PostSwapFaults, rep.PostSwapStall, rep.PostSwapPullKB,
+					rep.PostSwapPullKBps, rep.ResiduePushKB)
+			}
+			if rep.ResidueAborted {
+				r.printf("  post-swap residue ABORTED (guest left to supervision)")
+			}
 		})
 
 	case "suspend", "resume":
@@ -489,6 +491,10 @@ func (r *repl) exec(line string) bool {
 		wstalls += fst.WindowStalls
 		r.printf("  bulk-transfer: window=%d sends=%d stalls=%d copy-window-events=%d",
 			params.CopyWindow, wsends, wstalls, tb.Count(trace.EvCopyWindow))
+		rf := r.c.RemoteFaultTotals()
+		r.printf("  remote faults: %d (%.1f KB) stalled=%v pull=%.1fK push=%.1fK events=%d aborted=%v",
+			rf.Faults, rf.FaultKB, rf.StallTime, rf.PullKB, rf.PushKB,
+			tb.Count(trace.EvRemoteFault), rf.Aborted)
 
 	case "trace":
 		if len(f) < 2 || (f[1] != "on" && f[1] != "off") {

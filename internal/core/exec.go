@@ -235,6 +235,19 @@ func (a *Agent) Wait(job *Job) (uint32, error) {
 			continue
 		}
 		if !m.OK() {
+			// A hosting manager that tore its guest down administratively
+			// (post-copy residue loss) answers aborted. The session's fate
+			// is the home supervisor's call: once the broken lease expires
+			// it re-executes the program (or fails the session), so re-ask
+			// at home after a lease interval rather than surface the abort.
+			if home := a.node.PM.PID(); m.Code == vid.CodeAborted && job.PM != home {
+				job.PM = home
+				if moves++; moves > params.WaitMaxMoves {
+					return 0, ErrTooManyMoves
+				}
+				a.Sleep(params.LeaseInterval)
+				continue
+			}
 			return 0, m.Err()
 		}
 		// Tell the home supervisor the session is over (stops the lease

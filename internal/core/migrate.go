@@ -39,6 +39,17 @@ const (
 	// forwarding addresses instead of rebinding (§5): the old host keeps
 	// a forwarding entry and no new binding is broadcast.
 	PolicyForwarding
+	// PolicyPostcopy inverts the residue cost: freeze immediately, move
+	// kernel state only, swap the identity, and let the destination
+	// demand-fault every page from a frozen source receptacle while the
+	// guest already runs (with a background pull and a source push-out
+	// racing the faults).
+	PolicyPostcopy
+	// PolicyHybrid is post-copy with hot-working-set pre-copy: a short
+	// recent-dirty sample picks the hot pages, which are copied before
+	// the freeze; re-dirtied ones are invalidated (not re-copied) during
+	// the freeze, and everything else moves post-swap.
+	PolicyHybrid
 )
 
 func (p Policy) String() string {
@@ -51,8 +62,31 @@ func (p Policy) String() string {
 		return "vm-flush"
 	case PolicyForwarding:
 		return "forwarding"
+	case PolicyPostcopy:
+		return "postcopy"
+	case PolicyHybrid:
+		return "hybrid"
 	}
 	return "?"
+}
+
+// ParsePolicy maps a command-line policy name to its enum value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "precopy":
+		return PolicyPrecopy, nil
+	case "stopcopy", "stop-and-copy":
+		return PolicyStopCopy, nil
+	case "flush", "vm-flush":
+		return PolicyFlush, nil
+	case "forwarding":
+		return PolicyForwarding, nil
+	case "postcopy":
+		return PolicyPostcopy, nil
+	case "hybrid":
+		return PolicyHybrid, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (precopy|stopcopy|flush|forwarding|postcopy|hybrid)", s)
 }
 
 // RoundStat describes one pre-copy (or flush) round.
@@ -89,6 +123,21 @@ type MigrationReport struct {
 	WindowSends     int64
 	WindowStalls    int64
 	WindowOccupancy float64
+
+	// Post-copy residue accounting (postcopy/hybrid policies; zero
+	// otherwise): demand faults taken at the destination after the
+	// identity swap, the total time faulting processes were parked, the
+	// KB the destination pulled from the source receptacle (demand plus
+	// background) and the resulting pull bandwidth, the KB the source's
+	// push-out delivered, and whether the residue was lost (destination
+	// died after the commit point — the migration stands, the guest is
+	// gone).
+	PostSwapFaults   int
+	PostSwapStall    time.Duration
+	PostSwapPullKB   float64
+	PostSwapPullKBps float64
+	ResiduePushKB    float64
+	ResidueAborted   bool
 }
 
 // Encode serializes the report.
@@ -111,6 +160,11 @@ func DecodeReport(b []byte) (*MigrationReport, error) {
 
 // ErrMigrationFailed wraps a failed migration attempt.
 var ErrMigrationFailed = errors.New("core: migration failed")
+
+// ErrResidueLost marks a post-copy residue that could not be completed:
+// the destination aborted it or stopped making progress before every
+// deferred page became resident.
+var ErrResidueLost = errors.New("core: post-copy residue lost")
 
 // PhaseError reports which phase of the §3.1 algorithm a migration attempt
 // failed in. It matches both ErrMigrationFailed and its cause under
@@ -280,6 +334,14 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	host := pm.Host()
 	start := ctx.Now()
 	rep := &MigrationReport{Policy: mg.Policy.String()}
+	cp := mg.Policy.copyPolicy()
+	if cp == nil {
+		return nil, fmt.Errorf("%w: unknown policy %v", ErrMigrationFailed, mg.Policy)
+	}
+	// The migrating identity. lh.ID() matches it until a post-copy
+	// BeforeUnfreeze renames the source copy into a residue receptacle,
+	// so every post-swap step uses this instead.
+	finalID := lh.ID()
 
 	// 1. Locate a new host, excluding ourselves and destinations that
 	// already failed this migration.
@@ -345,39 +407,16 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		}
 	}
 
-	// 3+4. Copy address-space state per policy, ending frozen. All of these
-	// phases precede the identity swap, so their failures are retry-safe.
-	switch mg.Policy {
-	case PolicyPrecopy, PolicyForwarding:
-		if ph, round, err := mg.precopy(ctx, host, lh, tempLH, targetKS, win, rep, srcMAC, dstMAC); err != nil {
-			return fail(ph, round, true, err)
-		}
-	case PolicyStopCopy:
-		host.Freeze(lh)
-		mg.freezeStart = ctx.Now()
-		mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, srcMAC, dstMAC)
-		var all []spacePages
-		for _, as := range lh.Spaces() {
-			as.ClearDirty()
-			all = append(all, spacePages{as, as.AllPages()})
-		}
-		mg.atPhase(lh.ID(), trace.PhaseResidue, 0, srcMAC, dstMAC)
-		kb, err := mg.copyRuns(ctx, tempLH, targetKS, win, all, rep)
-		if err != nil {
-			return fail(trace.PhaseResidue, 0, true, err)
-		}
-		rep.ResidualKB = kb
-		dur := ctx.Now().Sub(mg.freezeStart)
-		rep.Rounds = append(rep.Rounds, RoundStat{
-			Pages: int(kb), KB: kb, Dur: dur, CopyRateKBps: rateKBps(kb, dur),
-		})
-		mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
-	case PolicyFlush:
-		if err := mg.flushOut(ctx, pm, lh, win, rep); err != nil {
-			return fail(trace.PhasePrecopy, 0, true, err)
-		}
-	default:
-		return nil, fmt.Errorf("%w: unknown policy %v", ErrMigrationFailed, mg.Policy)
+	// 3+4. Copy address-space state per policy, ending frozen. All of
+	// these phases precede the identity swap, so their failures are
+	// retry-safe.
+	at := &copyAttempt{
+		mg: mg, ctx: ctx, pm: pm, host: host, lh: lh,
+		sel: sel, finalID: finalID, tempLH: tempLH, targetKS: targetKS,
+		win: win, rep: rep, srcMAC: srcMAC, dstMAC: dstMAC,
+	}
+	if ph, round, err := cp.PreSwap(at); err != nil {
+		return fail(ph, round, true, err)
 	}
 
 	// The logical host is now frozen. Copy kernel server + program
@@ -401,7 +440,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	// the destination's adoption watchdog can finish the hand-over even if
 	// we die before unfreezing it.
 	m, err = ctx.Send(targetKS, vid.Message{
-		Op: kernel.KsChangeLHID, W: [6]uint32{uint32(tempLH), uint32(lh.ID())},
+		Op: kernel.KsChangeLHID, W: [6]uint32{uint32(tempLH), uint32(finalID)},
 	})
 	switch {
 	case err != nil:
@@ -410,7 +449,7 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		// destination owns the identity and its adoption watchdog will
 		// unfreeze the copy. Ask the destination whether the swap actually
 		// happened before deciding.
-		switch confirmed, swapped := mg.probeDest(ctx, targetKS, lh.ID()); {
+		switch confirmed, swapped := mg.probeDest(ctx, targetKS, finalID); {
 		case confirmed && swapped:
 			// Swap took effect; proceed as if the reply had arrived.
 		case confirmed:
@@ -426,12 +465,11 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		return fail(trace.PhaseSwap, 0, true, m.Err())
 	}
 	rep.KernelTime = ctx.Now().Sub(kStart)
-	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseSwap, Start: kStart, End: ctx.Now()})
-	mg.atPhase(lh.ID(), trace.PhaseRebind, 0, srcMAC, dstMAC)
-	if mg.Policy == PolicyFlush {
-		// Configure demand paging on the new copy before it runs.
-		mg.installPager(lh.ID(), sel.SystemLH)
-	}
+	mg.span(trace.Span{LH: finalID, Phase: trace.PhaseSwap, Start: kStart, End: ctx.Now()})
+	mg.atPhase(finalID, trace.PhaseRebind, 0, srcMAC, dstMAC)
+	// Demand-paging setup (flush's file-server pager, post-copy's
+	// receptacle and remote-fault path) before the new copy can run.
+	cp.BeforeUnfreeze(at)
 
 	// 5. Unfreeze the new copy (broadcasting the binding unless running
 	// the forwarding comparator), delete the old copy, notify the new
@@ -442,13 +480,13 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 	}
 	rbStart := ctx.Now()
 	m, err = ctx.Send(targetKS, vid.Message{
-		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(lh.ID()), broadcast},
+		Op: kernel.KsUnfreezeLH, W: [6]uint32{uint32(finalID), broadcast},
 	})
 	switch {
 	case err != nil:
 		// Past the swap the copy is authoritative if it exists; confirm
 		// before abandoning it.
-		switch confirmed, resident := mg.probeDest(ctx, targetKS, lh.ID()); {
+		switch confirmed, resident := mg.probeDest(ctx, targetKS, finalID); {
 		case confirmed && resident:
 			// The copy is alive and owns the identity; whether or not the
 			// unfreeze request itself got through, the destination's
@@ -467,22 +505,26 @@ func (mg *Migrator) migrate(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Logi
 		return fail(trace.PhaseRebind, 0, true, m.Err())
 	}
 	rep.FreezeTime = ctx.Now().Sub(mg.freezeStart)
-	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseRebind, Start: rbStart, End: ctx.Now()})
+	mg.span(trace.Span{LH: finalID, Phase: trace.PhaseRebind, Start: rbStart, End: ctx.Now()})
 	// The freeze window encloses residue, swap and rebind; its duration is
 	// by construction the report's FreezeTime.
-	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseFreeze, Start: mg.freezeStart, End: ctx.Now()})
+	mg.span(trace.Span{LH: finalID, Phase: trace.PhaseFreeze, Start: mg.freezeStart, End: ctx.Now()})
 	if mg.Policy == PolicyForwarding {
 		// Demos/MP comparator: leave a forwarding address on this host.
-		host.IPC.SetForward(lh.ID(), targetMAC(sel))
+		host.IPC.SetForward(finalID, targetMAC(sel))
 	}
-	lhid := lh.ID()
-	host.DestroyLH(lh)
+	if at.residue == nil {
+		host.DestroyLH(lh)
+	}
 	// The identity now lives at the destination: the local slot must not
-	// be recycled into a colliding logical host.
-	host.RetireLHID(lhid)
+	// be recycled into a colliding logical host. (A post-copy source copy
+	// survives under a fresh private id as the page-serving receptacle;
+	// AfterCommit destroys it once the residue drains.)
+	host.RetireLHID(finalID)
 	ctx.Send(rep.NewPM, vid.Message{
-		Op: progmgr.PmAssumeMigration, W: [6]uint32{uint32(lhid)},
+		Op: progmgr.PmAssumeMigration, W: [6]uint32{uint32(finalID)},
 	})
+	cp.AfterCommit(at)
 	rep.Total = ctx.Now().Sub(start)
 	return rep, nil
 }

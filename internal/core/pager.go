@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"vsystem/internal/fileserver"
 	"vsystem/internal/ipc"
@@ -9,16 +10,28 @@ import (
 	"vsystem/internal/mem"
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/sim"
 	"vsystem/internal/trace"
 	"vsystem/internal/vid"
 )
 
 // PagerStats counts demand-paging activity for a flush-migrated program
-// (§3.2). Pages that were dirty on the original host and then referenced
-// on the new host cross the network twice — the variant's stated cost.
+// (§3.2) or a post-copy destination. Pages that were dirty on the
+// original host and then referenced on the new host cross the network
+// twice — the flush variant's stated cost; post-copy's cost is the stall
+// a faulting process pays while its page crosses once. Every fault
+// counted here publishes one trace.EvRemoteFault; tests hold the two to
+// parity.
 type PagerStats struct {
 	Faults  int
 	FaultKB float64
+
+	// Post-copy residue accounting.
+	StallTime time.Duration // total time faulting processes were parked
+	PullKB    float64       // KB the destination pulled (demand + background)
+	PushKB    float64       // KB the source push-out delivered
+	Aborted   bool          // the residue was lost; the guest was destroyed
+	AbortErr  error         // typed *PhaseError (trace.PhasePostSwapPull) when Aborted
 }
 
 // flushOut is the source side of the §3.2 variant: instead of copying the
@@ -144,14 +157,17 @@ func (mg *Migrator) installPager(lhid vid.LHID, destSys vid.LHID) {
 			if t == nil {
 				return nil // non-task access (diagnostics): treat as zero
 			}
+			start := node.Host.Eng.Now()
+			stats.Faults++
+			stats.FaultKB += float64(mem.PageSize) / 1024
+			mg.publishRemoteFault(node, lhid, pn, start)
 			port := node.Host.IPC.NewPort(node.pagerPID())
 			defer port.Close()
 			m, err := port.Send(t, fs, vid.Message{
 				Op:  fileserver.OpPageIn,
 				Seg: []byte(pageKey(prefix, as.ID, pn)),
 			})
-			stats.Faults++
-			stats.FaultKB += float64(mem.PageSize) / 1024
+			stats.StallTime += node.Host.Eng.Now().Sub(start)
 			if err != nil || !m.OK() {
 				return nil // never flushed: a zero (hole) page
 			}
@@ -160,10 +176,132 @@ func (mg *Migrator) installPager(lhid vid.LHID, destSys vid.LHID) {
 	}
 }
 
+// publishRemoteFault emits the EvRemoteFault event every counted demand
+// fault must pair with (stats/trace parity).
+func (mg *Migrator) publishRemoteFault(node *Node, lhid vid.LHID, pn mem.PageNo, at sim.Time) {
+	var bus *trace.Bus
+	if mg.Cluster != nil {
+		bus = mg.Cluster.Trace
+	}
+	bus.Publish(trace.Event{
+		At: at, Host: uint16(node.Host.NIC.MAC()),
+		Kind: trace.EvRemoteFault, LH: lhid, Size: int(pn),
+	})
+}
+
+// installRemotePager configures the post-copy remote-fault path on the
+// migrated copy: a faulting reference parks the process and pulls a
+// FetchRunPages page run from the source receptacle (the faulted page
+// plus read-ahead over still-absent neighbors). When the receptacle
+// cannot serve — the source crashed mid-residue — the path falls back to
+// the file server's flush image for the page, and failing that aborts
+// the guest cleanly rather than let it run on memory holes. Installed
+// between the identity swap and the unfreeze.
+func (mg *Migrator) installRemotePager(rs *residueState) {
+	node := rs.node
+	for _, as := range rs.destLH.Spaces() {
+		as := as
+		as.SetFault(func(pn mem.PageNo) []byte {
+			t := node.Host.Eng.Current()
+			if t == nil {
+				return nil // non-task access (diagnostics): treat as zero
+			}
+			start := node.Host.Eng.Now()
+			rs.stats.Faults++
+			rs.stats.FaultKB += float64(mem.PageSize) / 1024
+			mg.publishRemoteFault(node, rs.destLH.ID(), pn, start)
+			data := rs.demandFetch(t, as, pn)
+			rs.stats.StallTime += node.Host.Eng.Now().Sub(start)
+			return data
+		})
+	}
+}
+
+// demandFetch resolves one demand fault against the source receptacle,
+// with the file server and the racing push-out as fallbacks.
+func (rs *residueState) demandFetch(t *sim.Task, as *mem.AddressSpace, pn mem.PageNo) []byte {
+	// The faulted page plus read-ahead over still-absent neighbors, one
+	// fetch-request's worth.
+	pages := []mem.PageNo{pn}
+	limit := mem.PageNo(as.Size() / mem.PageSize)
+	for p := pn + 1; p < limit && len(pages) < params.FetchRunPages; p++ {
+		if !as.Present(p) {
+			pages = append(pages, p)
+		}
+	}
+	port := rs.node.Host.IPC.NewPort(rs.node.pagerPID())
+	defer port.Close()
+	m, err := port.Send(t, rs.srcKS, vid.Message{
+		Op:  kernel.KsFetchPage,
+		W:   [6]uint32{uint32(rs.id)},
+		Seg: kernel.EncodeFetchReq(as.ID, pages),
+	})
+	if err == nil && m.OK() {
+		if spaceID, rp, rd, derr := kernel.DecodePageRun(m.Seg); derr == nil && spaceID == as.ID {
+			var out []byte
+			for i, p := range rp {
+				if p == pn {
+					out = rd[i] // the faulting getPage installs it
+					continue
+				}
+				if installed, _ := as.InstallPageIfAbsent(p, rd[i]); installed {
+					rs.stats.PullKB += float64(mem.PageSize) / 1024
+				}
+			}
+			if out != nil {
+				rs.stats.PullKB += float64(mem.PageSize) / 1024
+				return out
+			}
+		}
+	}
+	// The receptacle could not serve. The racing push-out may have
+	// delivered the page meanwhile — the faulting getPage re-checks
+	// presence after this handler returns, so a nil here is safe when the
+	// page is present.
+	if as.Present(pn) {
+		return nil
+	}
+	// Fall back to the file server's flush image (populated if this
+	// logical host was ever flush-migrated under the same key prefix).
+	if b := rs.fetchFromFS(t, as, pn); b != nil {
+		return b
+	}
+	// Nothing can complete this guest's memory: abort cleanly.
+	rs.abortGuest(t, sendErr(err, m))
+	return nil
+}
+
+// fetchFromFS tries the file server's paging store for one page.
+func (rs *residueState) fetchFromFS(t *sim.Task, as *mem.AddressSpace, pn mem.PageNo) []byte {
+	prefix := fmt.Sprintf("pg/%04x", uint16(rs.destLH.ID()))
+	port := rs.node.Host.IPC.NewPort(rs.node.pagerPID())
+	defer port.Close()
+	m, err := port.Send(t, rs.mg.fileServerPID(), vid.Message{
+		Op:  fileserver.OpPageIn,
+		Seg: []byte(pageKey(prefix, as.ID, pn)),
+	})
+	if err != nil || !m.OK() {
+		return nil
+	}
+	return m.Seg
+}
+
 // pagerPID allocates a unique port id for one page-fault transaction.
+// Ids come from the system logical host's private 0xF000 index block.
+// The bare sequence wraps after 4096 allocations, and a long-lived
+// cluster could recycle an id while an old fault transaction is still
+// parked on its port — NewPort panics on the collision — so ids with a
+// live port are skipped.
 func (n *Node) pagerPID() vid.PID {
-	n.pagerSeq++
-	return vid.NewPID(n.Host.SystemLH().ID(), 0xF000+n.pagerSeq%0x0FF0)
+	sys := n.Host.SystemLH().ID()
+	for i := 0; i < 0x1000; i++ {
+		n.pagerSeq++
+		pid := vid.NewPID(sys, 0xF000+n.pagerSeq%0x1000)
+		if !n.Host.IPC.HasPort(pid) {
+			return pid
+		}
+	}
+	panic("core: pager port ids exhausted")
 }
 
 // registerPager records a pager's stats for the experiment harness.
@@ -174,5 +312,24 @@ func (c *Cluster) registerPager(lhid vid.LHID, st *PagerStats) {
 	c.pagers[lhid] = st
 }
 
-// PagerStatsFor returns demand-paging stats for a flush-migrated program.
+// PagerStatsFor returns demand-paging stats for a flush- or post-copy-
+// migrated program.
 func (c *Cluster) PagerStatsFor(lhid vid.LHID) *PagerStats { return c.pagers[lhid] }
+
+// RemoteFaultTotals aggregates demand-paging counters across every
+// registered pager (flush and post-copy migrations alike). The sums are
+// order-independent, so iterating the map stays deterministic.
+func (c *Cluster) RemoteFaultTotals() PagerStats {
+	var tot PagerStats
+	for _, st := range c.pagers {
+		tot.Faults += st.Faults
+		tot.FaultKB += st.FaultKB
+		tot.StallTime += st.StallTime
+		tot.PullKB += st.PullKB
+		tot.PushKB += st.PushKB
+		if st.Aborted {
+			tot.Aborted = true
+		}
+	}
+	return tot
+}

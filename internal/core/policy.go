@@ -1,0 +1,649 @@
+package core
+
+import (
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/ipc"
+	"vsystem/internal/kernel"
+	"vsystem/internal/mem"
+	"vsystem/internal/params"
+	"vsystem/internal/progmgr"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// copyAttempt bundles the per-attempt state of one migration: everything
+// the copy policies need to move address-space state between the frozen
+// source copy and the destination placeholder. migrate() builds one per
+// attempt and threads it through the policy hooks.
+type copyAttempt struct {
+	mg   *Migrator
+	ctx  *kernel.ProcCtx
+	pm   *progmgr.PM
+	host *kernel.Host
+	lh   *kernel.LogicalHost
+
+	sel      HostSel
+	finalID  vid.LHID // the migrating identity; lh.ID() until a post-copy rename
+	tempLH   vid.LHID // destination placeholder id (pre-swap)
+	targetKS vid.PID  // destination kernel server, via its system LH
+	win      *ipc.Window
+	rep      *MigrationReport
+	srcMAC   ethernet.MAC
+	dstMAC   ethernet.MAC
+
+	// residue is set by the post-copy policies between swap and unfreeze:
+	// the source copy stays behind as a page-serving receptacle and the
+	// teardown path changes accordingly.
+	residue *residueState
+}
+
+// CopyPolicy is the pluggable copy machinery of one migration attempt.
+// migrate() owns the invariant structure — destination selection, the
+// kernel-state swap, the identity change, unfreeze/rebind, teardown — and
+// delegates all address-space movement to the policy:
+//
+//   - PreSwap moves (or flushes, or deliberately defers) the address-space
+//     state, ending with the logical host frozen. Everything here precedes
+//     the identity swap, so failures are retry-safe; the returned phase
+//     and round label the failure point for the typed PhaseError.
+//   - BeforeUnfreeze runs after the identity swap has committed but before
+//     the new copy is unfrozen: demand-paging setup (flush's file-server
+//     pager, post-copy's receptacle and remote-fault path) must be in
+//     place before the guest can run.
+//   - AfterCommit runs once the migration is committed, the new copy
+//     unfrozen and the source identity retired. It must not fail the
+//     migration — the identity has moved — so residue-transfer problems
+//     are recorded in the report, never returned.
+type CopyPolicy interface {
+	PreSwap(at *copyAttempt) (trace.Phase, int, error)
+	BeforeUnfreeze(at *copyAttempt)
+	AfterCommit(at *copyAttempt)
+}
+
+// copyPolicy maps the policy enum to its implementation (nil for unknown
+// values).
+func (p Policy) copyPolicy() CopyPolicy {
+	switch p {
+	case PolicyPrecopy, PolicyForwarding:
+		return precopyPolicy{}
+	case PolicyStopCopy:
+		return stopCopyPolicy{}
+	case PolicyFlush:
+		return flushPolicy{}
+	case PolicyPostcopy:
+		return postcopyPolicy{}
+	case PolicyHybrid:
+		return postcopyPolicy{hybrid: true}
+	}
+	return nil
+}
+
+// precopyPolicy is §3.1.2: iterative pre-copy rounds while the program
+// runs, then freeze and copy the dirty residue. PolicyForwarding shares
+// it (the policies differ only in rebinding, which migrate() owns).
+type precopyPolicy struct{}
+
+func (precopyPolicy) PreSwap(at *copyAttempt) (trace.Phase, int, error) {
+	return at.mg.precopy(at.ctx, at.host, at.lh, at.tempLH, at.targetKS,
+		at.win, at.rep, at.srcMAC, at.dstMAC)
+}
+func (precopyPolicy) BeforeUnfreeze(*copyAttempt) {}
+func (precopyPolicy) AfterCommit(*copyAttempt)    {}
+
+// stopCopyPolicy is the naive comparator: freeze first, copy everything
+// while frozen.
+type stopCopyPolicy struct{}
+
+func (stopCopyPolicy) PreSwap(at *copyAttempt) (trace.Phase, int, error) {
+	mg, ctx, lh := at.mg, at.ctx, at.lh
+	at.host.Freeze(lh)
+	mg.freezeStart = ctx.Now()
+	mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, at.srcMAC, at.dstMAC)
+	var all []spacePages
+	for _, as := range lh.Spaces() {
+		as.ClearDirty()
+		all = append(all, spacePages{as, as.AllPages()})
+	}
+	mg.atPhase(lh.ID(), trace.PhaseResidue, 0, at.srcMAC, at.dstMAC)
+	kb, err := mg.copyRuns(ctx, at.tempLH, at.targetKS, at.win, all, at.rep)
+	if err != nil {
+		return trace.PhaseResidue, 0, err
+	}
+	at.rep.ResidualKB = kb
+	dur := ctx.Now().Sub(mg.freezeStart)
+	at.rep.Rounds = append(at.rep.Rounds, RoundStat{
+		Pages: int(kb), KB: kb, Dur: dur, CopyRateKBps: rateKBps(kb, dur),
+	})
+	mg.span(trace.Span{LH: lh.ID(), Phase: trace.PhaseResidue, KB: kb, Start: mg.freezeStart, End: ctx.Now()})
+	return 0, 0, nil
+}
+func (stopCopyPolicy) BeforeUnfreeze(*copyAttempt) {}
+func (stopCopyPolicy) AfterCommit(*copyAttempt)    {}
+
+// flushPolicy is §3.2: flush modified pages to the network file server
+// (iteratively, like pre-copy), move kernel state only, and demand-fault
+// pages in from the file server on the new host.
+type flushPolicy struct{}
+
+func (flushPolicy) PreSwap(at *copyAttempt) (trace.Phase, int, error) {
+	if err := at.mg.flushOut(at.ctx, at.pm, at.lh, at.win, at.rep); err != nil {
+		return trace.PhasePrecopy, 0, err
+	}
+	return 0, 0, nil
+}
+
+func (flushPolicy) BeforeUnfreeze(at *copyAttempt) {
+	// Configure file-server demand paging on the new copy before it runs.
+	at.mg.installPager(at.finalID, at.sel.SystemLH)
+}
+func (flushPolicy) AfterCommit(*copyAttempt) {}
+
+// postcopyPolicy inverts the residue cost: freeze almost immediately, move
+// kernel state (plus, for hybrid, the hot working set), swap the identity
+// and let the destination demand-fault the rest from a frozen source
+// receptacle while the guest already runs. The hybrid flavor pre-copies
+// the recently-dirty ("hot") page set before freezing so the post-swap
+// fault storm mostly misses, and pays only an invalidation run — a few
+// bytes per page — for hot pages re-dirtied during that copy.
+type postcopyPolicy struct {
+	hybrid bool
+}
+
+func (p postcopyPolicy) PreSwap(at *copyAttempt) (trace.Phase, int, error) {
+	mg, ctx, lh := at.mg, at.ctx, at.lh
+
+	// sent holds, per space, the pages the destination will hold a valid
+	// copy of at swap time; everything else is post-swap residue.
+	sent := make(map[*mem.AddressSpace]map[mem.PageNo]bool)
+
+	if p.hybrid {
+		// Track dirty bits over a short sample window while the program
+		// runs: the recent-dirty set approximates the hot working set.
+		for _, as := range lh.Spaces() {
+			as.ClearDirty()
+		}
+		ctx.Sleep(params.HybridSampleInterval)
+		var hot []spacePages
+		for _, as := range lh.Spaces() {
+			hot = append(hot, spacePages{as, as.SnapshotDirty()})
+		}
+		// Copy the hot set while the program still runs (one pre-copy
+		// round over the hot pages only).
+		roundStart := ctx.Now()
+		mg.atPhase(lh.ID(), trace.PhasePrecopy, 0, at.srcMAC, at.dstMAC)
+		if _, err := mg.copyRuns(ctx, at.tempLH, at.targetKS, at.win, hot, at.rep); err != nil {
+			return trace.PhasePrecopy, 0, err
+		}
+		dur := ctx.Now().Sub(roundStart)
+		at.rep.Rounds = append(at.rep.Rounds, RoundStat{
+			Pages: pageCount(hot), KB: kbOf(hot), Dur: dur,
+			CopyRateKBps: rateKBps(kbOf(hot), dur),
+		})
+		mg.span(trace.Span{
+			LH: lh.ID(), Phase: trace.PhasePrecopy, Round: 0,
+			KB: kbOf(hot), Start: roundStart, End: ctx.Now(),
+		})
+		for _, s := range hot {
+			m := make(map[mem.PageNo]bool, len(s.pages))
+			for _, pn := range s.pages {
+				m[pn] = true
+			}
+			sent[s.as] = m
+		}
+
+		at.host.Freeze(lh)
+		mg.freezeStart = ctx.Now()
+		mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, at.srcMAC, at.dstMAC)
+
+		// Hot pages re-dirtied during the copy are stale at the
+		// destination. Copying them now would put the whole hot set back
+		// into the freeze window — at a saturating dirty rate that is
+		// precisely pre-copy's residue cost. Instead send an invalidation
+		// run (page numbers only: ~4 bytes per page on the wire) telling
+		// the destination to drop them; they travel post-swap like the
+		// rest of the residue.
+		mg.atPhase(lh.ID(), trace.PhaseResidue, 0, at.srcMAC, at.dstMAC)
+		var stale []spacePages
+		for _, as := range lh.Spaces() {
+			redirtied := as.SnapshotDirty()
+			for _, pn := range redirtied {
+				delete(sent[as], pn)
+			}
+			stale = append(stale, spacePages{as, redirtied})
+		}
+		if err := mg.invalidateRuns(ctx, at.tempLH, at.targetKS, at.win, stale, at.rep); err != nil {
+			return trace.PhaseResidue, 0, err
+		}
+		mg.span(trace.Span{
+			LH: lh.ID(), Phase: trace.PhaseResidue, KB: kbOf(stale),
+			Start: mg.freezeStart, End: ctx.Now(),
+		})
+	} else {
+		// Pure post-copy: freeze right away, defer every page.
+		at.host.Freeze(lh)
+		mg.freezeStart = ctx.Now()
+		mg.atPhase(lh.ID(), trace.PhaseFreeze, 0, at.srcMAC, at.dstMAC)
+	}
+
+	// Everything not validly at the destination is post-swap residue.
+	// Mark it dirty on the frozen source: the dirty bits double as
+	// not-yet-delivered markers — KsFetchPage clears a page's bit when it
+	// serves it, and the push-out skips pages whose bit is already clear.
+	var remaining []spacePages
+	for _, as := range lh.Spaces() {
+		var left []mem.PageNo
+		for _, pn := range as.AllPages() {
+			if !sent[as][pn] {
+				left = append(left, pn)
+			}
+		}
+		for _, pn := range left {
+			as.MarkPageDirty(pn)
+		}
+		remaining = append(remaining, spacePages{as, left})
+	}
+	at.residue = &residueState{
+		mg:        mg,
+		srcHost:   at.host,
+		srcLH:     lh,
+		srcKS:     kernel.KernelServerPID(at.host.SystemLH().ID()),
+		remaining: remaining,
+		stats:     &PagerStats{},
+	}
+	return 0, 0, nil
+}
+
+func (p postcopyPolicy) BeforeUnfreeze(at *copyAttempt) {
+	rs := at.residue
+	mg := at.mg
+
+	node := mg.Cluster.NodeByLH(at.sel.SystemLH)
+	var destLH *kernel.LogicalHost
+	if node != nil {
+		if lh, ok := node.Host.LookupLH(at.finalID); ok {
+			destLH = lh
+		}
+	}
+
+	// Rename the source copy to a fresh private id. Local senders to the
+	// original id then miss and rebind to the destination, and the
+	// destination's adoption probe correctly sees the identity as not
+	// resident here.
+	var renameErr error
+	if destLH != nil {
+		_, renameErr = at.host.DetachResidue(at.lh)
+	}
+	if destLH == nil || renameErr != nil {
+		// No receptacle possible (destination unreachable in the sim, or
+		// every local LH slot in use): drain the residue synchronously
+		// while both sides are still frozen, degenerating to stop-and-
+		// copy for the remainder, and tear down classically.
+		kb, _ := mg.copyRuns(at.ctx, at.finalID, at.targetKS, at.win, rs.remaining, at.rep)
+		at.rep.ResidualKB += kb
+		at.residue = nil
+		return
+	}
+	rs.node = node
+	rs.destLH = destLH
+	rs.id = at.lh.ID() // the receptacle's fresh private id
+
+	mg.Cluster.registerPager(at.finalID, rs.stats)
+	mg.installRemotePager(rs)
+
+	// Background pull: a destination-side worker sweeps the spaces for
+	// not-yet-present pages and pulls them through a pipelined window,
+	// racing the source's push-out and the guest's own demand faults.
+	node.Host.SpawnServer("pm-pull", 16*1024, func(ctx *kernel.ProcCtx) {
+		rs.pullLoop(ctx)
+	})
+}
+
+func (p postcopyPolicy) AfterCommit(at *copyAttempt) {
+	if at.residue == nil {
+		return // BeforeUnfreeze drained the residue synchronously
+	}
+	rs, mg, ctx, rep := at.residue, at.mg, at.ctx, at.rep
+	pullStart := ctx.Now()
+	mg.atPhase(at.finalID, trace.PhasePostSwapPull, 0, at.srcMAC, at.dstMAC)
+
+	// Push the remainder out of the receptacle, racing the destination's
+	// pulls: pages whose delivery marker a fetch already cleared are
+	// skipped, and the destination installs pushes only if-absent, so the
+	// same page is never double-applied.
+	err := mg.pushResidue(ctx, at.finalID, at.targetKS, at.win, rs, rep)
+	if err == nil {
+		err = at.win.Drain(ctx.Task())
+	}
+	if err == nil {
+		err = rs.awaitDrained(ctx)
+	}
+	if err != nil {
+		// The destination died after the commit point. The migration
+		// itself stands — returning an error here would make the program
+		// manager destroy state it no longer owns — so record the failed
+		// residue and let supervision (lease expiry, re-exec from the
+		// file-server image) deal with the lost guest.
+		rep.ResidueAborted = true
+		rs.abort(err)
+	} else {
+		rs.finish()
+	}
+
+	// The receptacle has served its purpose: every page is at the
+	// destination (or the residue is aborted). Late in-flight fetches
+	// fail harmlessly — the destination re-checks presence and falls
+	// back before giving up.
+	rs.destroyReceptacle()
+
+	st := rs.stats
+	rep.PostSwapFaults = st.Faults
+	rep.PostSwapStall = st.StallTime
+	rep.PostSwapPullKB = st.PullKB
+	dur := ctx.Now().Sub(pullStart)
+	rep.PostSwapPullKBps = rateKBps(st.PullKB, dur)
+	mg.span(trace.Span{
+		LH: at.finalID, Phase: trace.PhasePostSwapPull,
+		KB: rep.ResiduePushKB + st.PullKB, Start: pullStart, End: ctx.Now(),
+	})
+}
+
+// invalidateRuns sends WriteModeInvalidate page runs for the given pages.
+// Bodies are passed as the shared zero page so every one is elided: an
+// invalidation run is a header plus 4 bytes per page.
+func (mg *Migrator) invalidateRuns(ctx *kernel.ProcCtx, tempLH vid.LHID, targetKS vid.PID,
+	win *ipc.Window, sp []spacePages, rep *MigrationReport) error {
+
+	if mg.scratch == nil {
+		mg.scratch = make([][]byte, kernel.MaxRunPages)
+	}
+	for _, s := range sp {
+		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
+			end := off + kernel.MaxRunPages
+			if end > len(s.pages) {
+				end = len(s.pages)
+			}
+			batch := s.pages[off:end]
+			data := mg.scratch[:len(batch)]
+			for i := range batch {
+				data[i] = mem.ZeroPage()
+			}
+			seg := kernel.EncodePageRun(s.as.ID, batch, data)
+			err := win.Send(ctx.Task(), targetKS, vid.Message{
+				Op:  kernel.KsWritePages,
+				W:   [6]uint32{uint32(tempLH), kernel.WriteModeInvalidate},
+				Seg: seg,
+			})
+			if err != nil {
+				return err
+			}
+			rep.WireBytes += int64(len(seg))
+		}
+	}
+	return win.Drain(ctx.Task())
+}
+
+// pushResidue streams the receptacle's still-undelivered pages to the
+// destination as WriteModeIfAbsent runs. Each batch re-filters by the
+// delivery markers at issue time, so pages the destination pulled while
+// earlier batches were in flight are not sent twice.
+func (mg *Migrator) pushResidue(ctx *kernel.ProcCtx, finalID vid.LHID, targetKS vid.PID,
+	win *ipc.Window, rs *residueState, rep *MigrationReport) error {
+
+	if mg.scratch == nil {
+		mg.scratch = make([][]byte, kernel.MaxRunPages)
+	}
+	for _, s := range rs.remaining {
+		for off := 0; off < len(s.pages); off += kernel.MaxRunPages {
+			end := off + kernel.MaxRunPages
+			if end > len(s.pages) {
+				end = len(s.pages)
+			}
+			var batch []mem.PageNo
+			for _, pn := range s.pages[off:end] {
+				if pageDelivered(s.as, pn) {
+					continue
+				}
+				batch = append(batch, pn)
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			data := mg.scratch[:len(batch)]
+			for i, pn := range batch {
+				data[i] = s.as.PageView(pn)
+			}
+			seg := kernel.EncodePageRun(s.as.ID, batch, data)
+			err := win.Send(ctx.Task(), targetKS, vid.Message{
+				Op:  kernel.KsWritePages,
+				W:   [6]uint32{uint32(finalID), kernel.WriteModeIfAbsent},
+				Seg: seg,
+			})
+			if err != nil {
+				return err
+			}
+			for _, pn := range batch {
+				s.as.ClearDirtyPage(pn)
+			}
+			kb := float64(len(batch)) * mem.PageSize / 1024
+			rep.ResiduePushKB += kb
+			rep.BytesCopied += int64(len(batch)) * mem.PageSize
+			rep.WireBytes += int64(len(seg))
+			rs.stats.PushKB += kb
+		}
+	}
+	return nil
+}
+
+// pageDelivered reports whether a residue page's delivery marker has been
+// cleared (a KsFetchPage served it, or an earlier push batch sent it).
+func pageDelivered(as *mem.AddressSpace, pn mem.PageNo) bool {
+	return !as.PageDirty(pn)
+}
+
+// residueState is the shared state of one post-copy residue: the frozen
+// source receptacle, the destination copy, and the transfer bookkeeping
+// that the source push-out, the destination's background puller and the
+// demand-fault path coordinate through. The simulation is single-
+// threaded, so cross-host field access needs no locking and stays
+// deterministic.
+type residueState struct {
+	mg      *Migrator
+	srcHost *kernel.Host
+	srcLH   *kernel.LogicalHost // the receptacle (renamed post-swap)
+	srcKS   vid.PID             // source kernel server, via its system LH
+	id      vid.LHID            // the receptacle's private id
+
+	node   *Node               // destination node
+	destLH *kernel.LogicalHost // the migrated copy at the destination
+
+	remaining []spacePages // source-side: pages deferred past the swap
+	stats     *PagerStats
+
+	done    bool // residue fully transferred; handlers cleared
+	aborted bool // residue lost (source or destination died mid-residue)
+}
+
+// pullLoop is the destination-side background puller: sweep every space
+// for not-yet-present pages and fetch them in FetchRunPages batches
+// through a pipelined window, installing runs as replies arrive. It
+// races the source's push-out (install-if-absent on both sides keeps
+// that safe) and exits quietly once the residue is done or lost.
+func (rs *residueState) pullLoop(ctx *kernel.ProcCtx) {
+	win := rs.node.Host.IPC.NewWindow(rs.node.Host.SystemLH().ID(), params.CopyWindow)
+	defer win.Close()
+	win.SetOnReply(func(_, reply vid.Message) {
+		rs.installRun(reply.Seg)
+	})
+	for _, as := range rs.destLH.Spaces() {
+		as := as
+		var batch []mem.PageNo
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			err := win.Send(ctx.Task(), rs.srcKS, vid.Message{
+				Op:  kernel.KsFetchPage,
+				W:   [6]uint32{uint32(rs.id)},
+				Seg: kernel.EncodeFetchReq(as.ID, batch),
+			})
+			batch = batch[:0]
+			return err == nil
+		}
+		limit := mem.PageNo(as.Size() / mem.PageSize)
+		for pn := mem.PageNo(0); pn < limit; pn++ {
+			if rs.done || rs.aborted {
+				return
+			}
+			if as.Present(pn) {
+				continue
+			}
+			batch = append(batch, pn)
+			if len(batch) == params.FetchRunPages {
+				if !flush() {
+					return // sticky error: push-out finished first, or the source is gone
+				}
+			}
+		}
+		if !flush() {
+			return
+		}
+	}
+	win.Drain(ctx.Task())
+}
+
+// installRun installs a fetched page run into the destination copy,
+// if-absent (demand faults, pushes or the guest itself may have won the
+// race for individual pages). Runs still arriving after the residue is
+// done are installed too — they no-op page by page — but an aborted
+// residue drops them: the guest is being destroyed.
+func (rs *residueState) installRun(seg []byte) {
+	if rs.aborted {
+		return
+	}
+	spaceID, pages, data, err := kernel.DecodePageRun(seg)
+	if err != nil {
+		return
+	}
+	for _, as := range rs.destLH.Spaces() {
+		if as.ID != spaceID {
+			continue
+		}
+		for i, pn := range pages {
+			if installed, _ := as.InstallPageIfAbsent(pn, data[i]); installed {
+				rs.stats.PullKB += float64(mem.PageSize) / 1024
+			}
+		}
+		return
+	}
+}
+
+// awaitDrained blocks until every deferred page is present at the
+// destination. The push-out skips pages whose delivery marker a fetch
+// already cleared, but "served by the receptacle" is not "installed at
+// the destination": the reply may still be in flight to the background
+// puller or to a parked faulting process. Tearing the receptacle down on
+// cleared markers alone loses exactly those pages — the guest's next
+// reference finds the receptacle gone and the fallback chain aborts a
+// healthy guest — so completion is judged by destination presence, never
+// by source-side markers. Returns nil once the residue is fully resident
+// (or the guest itself is gone, which moots it); errors when the residue
+// aborted meanwhile or the destination stops making progress.
+func (rs *residueState) awaitDrained(ctx *kernel.ProcCtx) error {
+	deadline := ctx.Now().Add(params.ResidueDrainTimeout)
+	for {
+		if rs.aborted {
+			return ErrResidueLost
+		}
+		cur, ok := rs.node.Host.LookupLH(rs.destLH.ID())
+		if !ok || cur != rs.destLH {
+			return nil // the guest exited or was destroyed; nothing to complete
+		}
+		missing := false
+	scan:
+		for _, s := range rs.remaining {
+			das := rs.destSpace(s.as.ID)
+			if das == nil {
+				continue
+			}
+			for _, pn := range s.pages {
+				if !das.Present(pn) {
+					missing = true
+					break scan
+				}
+			}
+		}
+		if !missing {
+			return nil
+		}
+		if ctx.Now() > deadline {
+			return ErrResidueLost
+		}
+		ctx.Sleep(time.Millisecond)
+	}
+}
+
+// destSpace resolves a source space to its destination counterpart (space
+// ids are preserved across migration).
+func (rs *residueState) destSpace(id uint32) *mem.AddressSpace {
+	for _, as := range rs.destLH.Spaces() {
+		if as.ID == id {
+			return as
+		}
+	}
+	return nil
+}
+
+// finish marks the residue complete and retires the remote-fault path:
+// every remaining page is now present at the destination (or provably
+// all-zero), so absent pages can simply allocate locally again.
+func (rs *residueState) finish() {
+	rs.done = true
+	for _, as := range rs.destLH.Spaces() {
+		as.SetFault(nil)
+	}
+}
+
+// abort marks the residue lost. Called from the source side when the
+// push-out cannot reach the destination (the guest there is gone), and
+// from the destination side when a fault can be satisfied neither by the
+// receptacle nor the file server (abortGuest).
+func (rs *residueState) abort(cause error) {
+	if rs.aborted {
+		return
+	}
+	rs.aborted = true
+	rs.stats.Aborted = true
+	if rs.stats.AbortErr == nil {
+		rs.stats.AbortErr = &PhaseError{
+			Phase: trace.PhasePostSwapPull, Dest: rs.node.Host.SystemLH().ID(), Err: cause,
+		}
+	}
+	for _, as := range rs.destLH.Spaces() {
+		as.SetFault(nil)
+	}
+}
+
+// abortGuest is the destination's clean-abort path: a faulting reference
+// could not be satisfied by the receptacle (source crashed mid-residue)
+// or the file-server flush image. The guest's memory is incomplete and
+// can never be completed, so destroy it rather than let it run on holes.
+// The destruction goes through the program manager, which records the
+// guest as lost (not exited): the owning session's lease expires and
+// supervision re-executes it from its file-server image.
+func (rs *residueState) abortGuest(t *sim.Task, cause error) {
+	rs.abort(cause)
+	if cur, ok := rs.node.Host.LookupLH(rs.destLH.ID()); ok && cur == rs.destLH {
+		rs.node.PM.AbortGuest(t, rs.destLH.ID())
+	}
+}
+
+// destroyReceptacle tears down the source-side receptacle once the
+// residue is drained or lost.
+func (rs *residueState) destroyReceptacle() {
+	if cur, ok := rs.srcHost.LookupLH(rs.srcLH.ID()); ok && cur == rs.srcLH {
+		rs.srcHost.DestroyLH(rs.srcLH)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"vsystem/internal/fault"
+	"vsystem/internal/progs"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// TestPostcopyMigrationExactlyOnce is post-copy's transparency guarantee:
+// the guest's identity swaps after a near-immediate freeze and its pages
+// follow on demand, yet the user observes exactly the same output stream
+// as an unmigrated run — every tick once, in order.
+func TestPostcopyMigrationExactlyOnce(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 41, Policy: PolicyPostcopy})
+	c.Install(progs.Ticker(400))
+
+	var job *Job
+	var rep *MigrationReport
+	var execErr, migErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		a.Sleep(800 * time.Millisecond)
+		rep, migErr = a.Migrate(job, false)
+		if migErr != nil {
+			return
+		}
+		_, waitErr = a.Wait(job)
+	})
+	c.Run(3 * time.Minute)
+
+	if execErr != nil || migErr != nil || waitErr != nil {
+		t.Fatalf("exec=%v mig=%v wait=%v", execErr, migErr, waitErr)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 400)
+	if rep.Policy != "postcopy" {
+		t.Fatalf("report policy = %q", rep.Policy)
+	}
+	if rep.ResidueAborted {
+		t.Fatal("residue aborted on a healthy cluster")
+	}
+	if len(rep.Rounds) != 0 {
+		t.Fatalf("postcopy ran %d pre-copy rounds, want 0", len(rep.Rounds))
+	}
+	if rep.ResiduePushKB+rep.PostSwapPullKB <= 0 {
+		t.Fatalf("no residue moved post-swap (push=%.1f pull=%.1f)",
+			rep.ResiduePushKB, rep.PostSwapPullKB)
+	}
+	assertRemoteFaultParity(t, c)
+}
+
+// TestPostcopyDemandPullsUnderLoad migrates the paper's highest-dirty-rate
+// workload ("tex") under pure post-copy: the guest resumes against an
+// almost-empty address space, so the remote-fault path must field real
+// demand faults — parked processes, receptacle pulls, stall accounting —
+// while the push-out races it for the rest.
+func TestPostcopyDemandPullsUnderLoad(t *testing.T) {
+	rep := parityScenario(t, PolicyPostcopy)
+	if rep.PostSwapFaults <= 0 {
+		t.Fatalf("PostSwapFaults = %d, want > 0", rep.PostSwapFaults)
+	}
+	if rep.PostSwapStall <= 0 {
+		t.Fatalf("PostSwapStall = %v, want > 0", rep.PostSwapStall)
+	}
+	if rep.PostSwapPullKB <= 0 {
+		t.Fatalf("PostSwapPullKB = %.1f, want > 0", rep.PostSwapPullKB)
+	}
+	if rep.ResidueAborted {
+		t.Fatal("residue aborted on a healthy cluster")
+	}
+}
+
+// TestHybridFreezeBelowPrecopy pins the hybrid policy's reason to exist:
+// on the same scenario (same seed, same workload, same virtual clock) the
+// hybrid freeze window — invalidation run plus kernel state only — must be
+// shorter than pre-copy's, which copies the full dirty residue while
+// frozen. The factor is pinned properly (≥5× under loss) by experiment
+// E12; here we pin the direction and the mechanism.
+func TestHybridFreezeBelowPrecopy(t *testing.T) {
+	pre := parityScenario(t, PolicyPrecopy)
+	hyb := parityScenario(t, PolicyHybrid)
+
+	if hyb.FreezeTime >= pre.FreezeTime {
+		t.Fatalf("hybrid freeze %v not below pre-copy freeze %v",
+			hyb.FreezeTime, pre.FreezeTime)
+	}
+	if len(hyb.Rounds) != 1 {
+		t.Fatalf("hybrid ran %d pre-swap rounds, want exactly 1 (the hot set)", len(hyb.Rounds))
+	}
+	if hyb.Rounds[0].KB <= 0 {
+		t.Fatal("hybrid hot-set round copied nothing; tex dirties pages continuously")
+	}
+	if hyb.ResidueAborted {
+		t.Fatal("residue aborted on a healthy cluster")
+	}
+}
+
+// TestPostcopySourceCrashMidResidueAborts covers the policy's failure
+// contract: the source dies at the start of the post-swap residue window,
+// taking the receptacle (and the migration worker) with it. The guest's
+// memory can no longer be completed, so the destination must abort it
+// cleanly — typed *PhaseError at PhasePostSwapPull, never silent zero
+// pages — and supervision then re-executes the session from its
+// file-server image with exactly-once output.
+func TestPostcopySourceCrashMidResidueAborts(t *testing.T) {
+	c := boot(t, Options{Workstations: 4, Seed: 43, Policy: PolicyPostcopy})
+	c.Install(progs.Ticker(400))
+	c.Fault.MigrationFault(trace.PhasePostSwapPull, 0, fault.VictimSource)
+
+	var job *Job
+	var origLH vid.LHID
+	var code uint32
+	var waitDone bool
+	var execErr, migErr, waitErr error
+	c.Node(0).Agent(func(a *Agent) {
+		job, execErr = a.Exec("ticker400", nil, "ws1")
+		if execErr != nil {
+			return
+		}
+		origLH = job.LHID // Wait rebinds job.LHID across re-executions
+		a.Sleep(800 * time.Millisecond)
+		// The worker running the migration dies with the source host, so
+		// this call fails; the session must still complete via supervision.
+		_, migErr = a.Migrate(job, false)
+	})
+	c.Node(0).Agent(func(a *Agent) {
+		for job == nil {
+			a.Sleep(100 * time.Millisecond)
+		}
+		code, waitErr = a.Wait(job)
+		waitDone = true
+	})
+	c.Run(4 * time.Minute)
+
+	if execErr != nil {
+		t.Fatalf("exec: %v", execErr)
+	}
+	if migErr == nil {
+		t.Fatal("Migrate reported success though its worker crashed mid-residue")
+	}
+	if got := c.Trace.Count(trace.EvMigFault); got != 1 {
+		t.Fatalf("EvMigFault count = %d, want 1", got)
+	}
+	if got := c.Trace.Count(trace.EvHostCrash); got != 1 {
+		t.Fatalf("EvHostCrash count = %d, want 1", got)
+	}
+
+	st := c.PagerStatsFor(origLH)
+	if st == nil {
+		t.Fatal("no pager stats registered for the migrated identity")
+	}
+	if !st.Aborted {
+		t.Fatal("residue not marked aborted after source crash")
+	}
+	var pe *PhaseError
+	if !errors.As(st.AbortErr, &pe) {
+		t.Fatalf("AbortErr = %v, want *PhaseError", st.AbortErr)
+	}
+	if pe.Phase != trace.PhasePostSwapPull {
+		t.Fatalf("AbortErr phase = %v, want %v", pe.Phase, trace.PhasePostSwapPull)
+	}
+
+	// Supervision must have re-executed the session and completed it with
+	// no lost or duplicated output.
+	if !waitDone {
+		t.Fatal("Wait never completed; the lost guest's session was not recovered")
+	}
+	if waitErr != nil || code != 0 {
+		t.Fatalf("wait = (%d, %v), want clean exit via re-exec", code, waitErr)
+	}
+	if got := c.Trace.Count(trace.EvExecRestart); got < 1 {
+		t.Fatalf("EvExecRestart count = %d, want >= 1", got)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 400)
+}
+
+// assertRemoteFaultParity holds the trace bus and the pager counters to
+// account for exactly the same demand faults: every counted fault must
+// publish one EvRemoteFault, and vice versa.
+func assertRemoteFaultParity(t *testing.T, c *Cluster) {
+	t.Helper()
+	tot := c.RemoteFaultTotals()
+	if got := c.Trace.Count(trace.EvRemoteFault); got != int64(tot.Faults) {
+		t.Fatalf("EvRemoteFault events = %d, PagerStats faults = %d", got, tot.Faults)
+	}
+}
+
+// TestPagerPIDWrapSkipsLivePorts regresses the pager port-id wrap: the
+// bare 12-bit sequence recycles after 4096 allocations, and allocating an
+// id whose previous user still holds its port open used to panic inside
+// NewPort. The allocator must skip live ids and keep going.
+func TestPagerPIDWrapSkipsLivePorts(t *testing.T) {
+	c := boot(t, Options{Workstations: 2, Seed: 45})
+	n := c.Node(0)
+
+	// Hold a port open at the id the wrapped sequence will hit first.
+	held := n.pagerPID()
+	port := n.Host.IPC.NewPort(held)
+	defer port.Close()
+
+	// Drive the sequence through a full wrap; every returned id must be
+	// allocatable (NewPort panics on collision) and never the held one.
+	for i := 0; i < 0x1001; i++ {
+		pid := n.pagerPID()
+		if pid == held {
+			t.Fatalf("allocator returned live id %v after %d allocations", pid, i)
+		}
+		p := n.Host.IPC.NewPort(pid)
+		p.Close()
+	}
+}

@@ -99,6 +99,7 @@ func All(seed int64) []*Result {
 		GuestCrash(seed),
 		CopyThroughput(seed),
 		ClusterLoad(seed),
+		MigrationPolicies(seed),
 	}
 }
 
@@ -124,6 +125,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"guest-crash":       GuestCrash,
 		"copy-throughput":   CopyThroughput,
 		"cluster-load":      ClusterLoad,
+		"migration-policy":  MigrationPolicies,
 	}
 	f, ok := m[name]
 	return f, ok
@@ -136,7 +138,7 @@ func Names() []string {
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "select-policy",
 		"migration-loss", "precopy-rounds", "fault-sweep", "guest-crash",
-		"copy-throughput", "cluster-load",
+		"copy-throughput", "cluster-load", "migration-policy",
 	}
 }
 

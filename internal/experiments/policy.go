@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vsystem/internal/core"
+	"vsystem/internal/fault"
+	"vsystem/internal/progs"
+	"vsystem/internal/trace"
+	"vsystem/internal/workload"
+)
+
+// MigrationPolicies (E12) compares the four copy policies end to end on
+// the Table 4-1 dirty-rate grid, with and without ambient frame loss.
+// Pre-copy (§3.1.2) pays its residue inside the freeze window; flush
+// (§3.2) pays a file-server round trip per referenced page afterwards;
+// post-copy freezes almost immediately and demand-pulls the residue from
+// a frozen source receptacle; hybrid pre-copies the recent-dirty ("hot")
+// set first so the post-swap fault storm mostly misses. The headline
+// claim pinned here: on a saturating dirty-rate cell under loss, hybrid
+// cuts freeze time at least 5× against pre-copy — while a second sweep
+// holds every policy to exactly-once guest output under injected crashes.
+func MigrationPolicies(seed int64) *Result {
+	r := newResult("E12", "copy policies: precopy / flush / postcopy / hybrid (freeze vs residue cost)")
+
+	policies := []core.Policy{core.PolicyPrecopy, core.PolicyFlush, core.PolicyPostcopy, core.PolicyHybrid}
+	// Low, middling and saturating dirty rates from the Table 4-1 grid.
+	specs := []string{"make", "parser", "tex"}
+	losses := []float64{0, 0.05}
+
+	for _, spec := range specs {
+		for _, loss := range losses {
+			for _, pol := range policies {
+				key := fmt.Sprintf("%s_%s_loss%d", pol, spec, int(loss*100))
+				label := fmt.Sprintf("%-8s %-6s loss %2.0f%%", pol, spec, loss*100)
+				c := bootCluster(core.Options{Workstations: 3, Seed: seed, LossRate: loss, Policy: pol})
+				var rep *core.MigrationReport
+				var err error
+				c.Node(0).Agent(func(a *core.Agent) {
+					job, e := a.Exec(spec, nil, "ws1")
+					if e != nil {
+						err = e
+						return
+					}
+					a.Sleep(4 * time.Second)
+					rep, err = a.Migrate(job, false)
+				})
+				// Migrate returns once the residue completes (≤ ~10 s of
+				// virtual time); don't simulate the idle tail of the run.
+				c.Run(15 * time.Second)
+				if err != nil || rep == nil {
+					r.check(false, "%s: migrate: %v", label, err)
+					continue
+				}
+				r.check(!rep.ResidueAborted, "%s: residue aborted on a healthy cluster", label)
+
+				frz := rep.FreezeTime.Seconds() * 1000
+				r.row(label,
+					"postcopy/hybrid freeze ≪ precopy",
+					fmt.Sprintf("freeze %6.0f ms, total %5.2f s, wire %4.0f KB",
+						frz, rep.Total.Seconds(), float64(rep.WireBytes)/1024),
+					fmt.Sprintf("%d post-swap faults, %3.0f ms stalled, pull %3.0f KB, push %3.0f KB",
+						rep.PostSwapFaults, rep.PostSwapStall.Seconds()*1000,
+						rep.PostSwapPullKB, rep.ResiduePushKB))
+				r.metric("freeze_ms_"+key, frz)
+				r.metric("total_s_"+key, rep.Total.Seconds())
+				r.metric("wire_kb_"+key, float64(rep.WireBytes)/1024)
+				r.metric("stall_ms_"+key, rep.PostSwapStall.Seconds()*1000)
+				r.metric("faults_"+key, float64(rep.PostSwapFaults))
+			}
+		}
+	}
+
+	// Headline acceptance. The Table 4-1 cells above are paper-faithful
+	// but small: tex's ~100 KB residue drains through the windowed copy
+	// engine in a couple of window flights, so a single trial's freeze
+	// time under loss is dominated by retransmission-timeout luck rather
+	// than by policy. The acceptance cell instead saturates the wire — a
+	// 512 KB hot set re-dirtied at 3 MB/s, above the 10 Mbit/s Ethernet —
+	// so pre-copy rounds cannot converge and the frozen residue is
+	// structurally the whole hot set; the comparison takes the median of
+	// three seed-derived trials per policy to damp timeout tails.
+	stress := workload.Spec{Name: "stress", HotKB: 512, HotRateKBps: 3000, DurationMs: 30000}
+	medianFreeze := func(pol core.Policy) float64 {
+		var fs []float64
+		for trial := 0; trial < 3; trial++ {
+			label := fmt.Sprintf("%-8s stress loss  5%% #%d", pol, trial+1)
+			c := bootCluster(core.Options{Workstations: 3, Seed: seed + int64(trial)*1009, LossRate: 0.05, Policy: pol})
+			c.Install(workload.Image(stress, 64*1024))
+			var rep *core.MigrationReport
+			var err error
+			c.Node(0).Agent(func(a *core.Agent) {
+				job, e := a.Exec("stress", nil, "ws1")
+				if e != nil {
+					err = e
+					return
+				}
+				a.Sleep(4 * time.Second)
+				rep, err = a.Migrate(job, false)
+			})
+			c.Run(20 * time.Second)
+			if err != nil || rep == nil {
+				r.check(false, "%s: migrate: %v", label, err)
+				fs = append(fs, 0)
+				continue
+			}
+			r.check(!rep.ResidueAborted, "%s: residue aborted on a healthy cluster", label)
+			frz := rep.FreezeTime.Seconds() * 1000
+			fs = append(fs, frz)
+			r.row(label,
+				"saturating hot set: freeze reflects policy, not luck",
+				fmt.Sprintf("freeze %6.0f ms, total %5.2f s, wire %4.0f KB",
+					frz, rep.Total.Seconds(), float64(rep.WireBytes)/1024),
+				fmt.Sprintf("%d post-swap faults, %3.0f ms stalled, pull %3.0f KB, push %3.0f KB",
+					rep.PostSwapFaults, rep.PostSwapStall.Seconds()*1000,
+					rep.PostSwapPullKB, rep.ResiduePushKB))
+			r.metric(fmt.Sprintf("freeze_ms_%s_stress_loss5_t%d", pol, trial+1), frz)
+		}
+		sort.Float64s(fs)
+		return fs[1]
+	}
+	hi := medianFreeze(core.PolicyPrecopy)
+	lo := medianFreeze(core.PolicyHybrid)
+	r.note("stress @ 5%% loss (median of 3): precopy freeze %.0f ms vs hybrid %.0f ms (%.1f×)", hi, lo, hi/lo)
+	r.check(lo > 0 && lo*5 <= hi,
+		"hybrid freeze %.0f ms not ≥5× below precopy %.0f ms on stress @ 5%% loss", lo, hi)
+
+	// Exactly-once sweep: every policy must deliver every guest output
+	// line exactly once, in order — with no fault, with the destination
+	// killed at the commit point (retry path), and, for the receptacle
+	// policies, with the source killed mid-residue (clean abort; the
+	// supervised session re-executes from its file-server image).
+	const wantTicks = 400
+	for _, pol := range policies {
+		cells := []struct {
+			label  string
+			victim fault.Victim
+			phase  trace.Phase
+		}{
+			{"no fault", fault.VictimNone, 0},
+			{"dest crash @ swap", fault.VictimDest, trace.PhaseSwap},
+		}
+		if pol == core.PolicyPostcopy || pol == core.PolicyHybrid {
+			cells = append(cells, struct {
+				label  string
+				victim fault.Victim
+				phase  trace.Phase
+			}{"source crash @ postswap-pull", fault.VictimSource, trace.PhasePostSwapPull})
+		}
+		for _, cell := range cells {
+			label := fmt.Sprintf("%s, %s", pol, cell.label)
+			c := bootCluster(core.Options{Workstations: 4, Seed: seed, Policy: pol})
+			c.Install(progs.Ticker(wantTicks))
+			if cell.victim != fault.VictimNone {
+				c.Fault.MigrationFault(cell.phase, 0, cell.victim)
+			}
+			var execErr error
+			c.Node(0).Agent(func(a *core.Agent) {
+				job, e := a.Exec(fmt.Sprintf("ticker%d", wantTicks), nil, "ws1")
+				if e != nil {
+					execErr = e
+					return
+				}
+				a.Sleep(800 * time.Millisecond)
+				// Under a source crash the worker dies mid-call; the
+				// session must still finish, so the error is not checked.
+				a.Migrate(job, false)
+			})
+			// Worst case (source crash → lease expiry → full re-execution)
+			// completes by ~30 s; 45 s leaves margin without simulating an
+			// idle tail.
+			c.Run(45 * time.Second)
+			if execErr != nil {
+				r.check(false, "%s: exec: %v", label, execErr)
+				continue
+			}
+			ticks, ordered := gapless(c.Node(0).Display.Lines())
+			r.row(label, "output exactly once, in order",
+				fmt.Sprintf("%d/%d ticks, ordered=%v", ticks, wantTicks, ordered),
+				fmt.Sprintf("faults=%d restarts=%d",
+					c.Trace.Count(trace.EvMigFault), c.Trace.Count(trace.EvExecRestart)))
+			r.metric("exactly_once_"+metricKey(label), b2f(ticks == wantTicks && ordered))
+			r.check(ticks == wantTicks && ordered,
+				"%s: output lost or duplicated (%d/%d, ordered=%v)", label, ticks, wantTicks, ordered)
+			if cell.victim != fault.VictimNone {
+				r.check(c.Trace.Count(trace.EvMigFault) == 1,
+					"%s: fault fired %d times", label, c.Trace.Count(trace.EvMigFault))
+			}
+		}
+	}
+	return r
+}

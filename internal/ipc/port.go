@@ -95,6 +95,14 @@ type cachedReply struct {
 // concrete process index (well-known indices are aliases resolved by the
 // kernel, not real ports) unless the port is a host server registered by
 // the kernel itself.
+// HasPort reports whether a port is currently registered under the PID.
+// Allocators of private port-id ranges (the pager's 0xF000 block) use it
+// to skip ids whose previous incarnation still has a transaction parked.
+func (e *Engine) HasPort(pid vid.PID) bool {
+	_, ok := e.ports[pid]
+	return ok
+}
+
 func (e *Engine) NewPort(pid vid.PID) *Port {
 	if _, dup := e.ports[pid]; dup {
 		panic(fmt.Sprintf("ipc: duplicate port %v", pid))

@@ -32,7 +32,17 @@ type Window struct {
 	sends    int64
 	stalls   int64
 	occupSum int64 // Σ in-flight count at each issue, for mean occupancy
+
+	onReply func(req, reply vid.Message)
 }
+
+// SetOnReply installs a completion hook, invoked during reaping for every
+// transaction that completed with an OK reply, with the original request
+// and its reply. The post-copy background puller uses it to install
+// fetched page runs as they arrive. The hook runs on whatever task is
+// driving the window and must not block (install pages, bump counters —
+// never send).
+func (w *Window) SetOnReply(fn func(req, reply vid.Message)) { w.onReply = fn }
 
 // WindowStats summarizes a window's activity.
 type WindowStats struct {
@@ -79,6 +89,7 @@ func (w *Window) reap(t *sim.Task) {
 		if p.send == nil || !p.send.done {
 			continue
 		}
+		req := p.send.msg
 		reply, err := p.AwaitReply(t) // completed: returns without blocking
 		w.inflight--
 		if err == nil && !reply.OK() {
@@ -86,6 +97,9 @@ func (w *Window) reap(t *sim.Task) {
 		}
 		if err != nil && w.err == nil {
 			w.err = err
+		}
+		if err == nil && w.onReply != nil {
+			w.onReply(req, reply)
 		}
 	}
 }

@@ -1,0 +1,48 @@
+package kernel
+
+import (
+	"testing"
+
+	"vsystem/internal/mem"
+)
+
+// FuzzDecodeFetchReq hammers the receptacle's fetch-request parser with
+// arbitrary segments: it must either reject them or decode a bounded,
+// in-range page list — never panic, never accept a list that could not
+// be answered with a single page run. Valid decodes must re-encode to the
+// identical segment (the format has no redundancy), so length-field lies
+// cannot smuggle extra page words past the bounds checks.
+func FuzzDecodeFetchReq(f *testing.F) {
+	f.Add(EncodeFetchReq(3, []mem.PageNo{0, 1, 2}))
+	f.Add(EncodeFetchReq(0, []mem.PageNo{511}))
+	full := make([]mem.PageNo, MaxRunPages)
+	for i := range full {
+		full[i] = mem.PageNo(i * 7)
+	}
+	f.Add(EncodeFetchReq(9, full))
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})                      // empty list
+	f.Add([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff})          // absurd count
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x80})       // ZeroPageFlag set
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 5, 0, 0, 0})          // truncated list
+	f.Add([]byte{1, 0, 0, 0, 1, 0, 0, 0, 5, 0, 0, 0, 6, 0, 0}) // trailing junk
+
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		spaceID, pages, err := DecodeFetchReq(seg)
+		if err != nil {
+			return
+		}
+		if len(pages) < 1 || len(pages) > MaxRunPages {
+			t.Fatalf("decoded %d pages, want 1..%d", len(pages), MaxRunPages)
+		}
+		for _, pn := range pages {
+			if uint32(pn)&ZeroPageFlag != 0 {
+				t.Fatalf("page %#x carries the elision flag", pn)
+			}
+		}
+		reseg := EncodeFetchReq(spaceID, pages)
+		if string(reseg) != string(seg) {
+			t.Fatalf("round trip changed encoding:\n got %x\nwant %x", reseg, seg)
+		}
+	})
+}

@@ -283,7 +283,7 @@ func (r *hostResolver) DeferWhenFrozen(dst vid.PID, op uint16) bool {
 		return true
 	}
 	switch op {
-	case KsPing, KsQueryLH, KsQueryProcess, KsQueryLoad, KsReadPages:
+	case KsPing, KsQueryLH, KsQueryProcess, KsQueryLoad, KsReadPages, KsFetchPage:
 		return false
 	}
 	return true
@@ -357,19 +357,8 @@ type LogicalHost struct {
 // the identity lives on at the destination and must never be re-minted
 // here.
 func (h *Host) newLH(name string, guest, system bool) *LogicalHost {
-	station := uint16(h.HostIndex + 1)
-	var id vid.LHID
-	found := false
-	for i := 0; i < vid.LHSlotCount; i++ {
-		h.nextLH++
-		cand := vid.NewHostLH(station, h.nextLH%vid.LHSlotCount)
-		if _, live := h.lhs[cand]; !live && !h.retiredLH[cand] {
-			id = cand
-			found = true
-			break
-		}
-	}
-	if !found {
+	id, ok := h.allocLHID()
+	if !ok {
 		panic("kernel: logical-host ids exhausted")
 	}
 	lh := &LogicalHost{
@@ -385,6 +374,38 @@ func (h *Host) newLH(name string, guest, system bool) *LogicalHost {
 	}
 	h.lhs[id] = lh
 	return lh
+}
+
+// allocLHID picks a free, unretired id from this host's slot range.
+func (h *Host) allocLHID() (vid.LHID, bool) {
+	station := uint16(h.HostIndex + 1)
+	for i := 0; i < vid.LHSlotCount; i++ {
+		h.nextLH++
+		cand := vid.NewHostLH(station, h.nextLH%vid.LHSlotCount)
+		if _, live := h.lhs[cand]; !live && !h.retiredLH[cand] {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
+// DetachResidue relabels a (frozen) logical host to a fresh id from this
+// host's allocation range. Post-copy migration calls it right after the
+// identity swap commits: the original id now lives at the destination,
+// while the old copy stays behind under a private id as a page-serving
+// receptacle — local references to the original id miss and rebind to
+// the destination, and the destination's adoption probe correctly finds
+// the identity "not resident" here. Fails when every slot is in use, in
+// which case the caller must drain the residue synchronously instead.
+func (h *Host) DetachResidue(lh *LogicalHost) (vid.LHID, error) {
+	id, ok := h.allocLHID()
+	if !ok {
+		return 0, vid.CodeError(vid.CodeNoMemory)
+	}
+	if err := h.ChangeLHID(lh, id); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
 // CreateLH allocates a logical host for a program. guest marks remotely

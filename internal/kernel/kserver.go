@@ -56,6 +56,33 @@ const (
 	// direct, always-fresh read of the figures the scheduling layer
 	// otherwise learns from piggybacked advertisements and beacons.
 	KsQueryLoad
+	// KsFetchPage: W0=lh, Seg=fetch request (EncodeFetchReq: space id plus
+	// an explicit page list) → Seg=page run. The post-copy remote-fault
+	// path: the destination pulls not-yet-transferred pages from the
+	// frozen source receptacle. Serving a page clears its dirty bit on the
+	// receptacle — the source's not-yet-delivered marker, which its
+	// background push-out consults — and refreshes the receptacle's
+	// activity timestamp so the inactivity reaper holds off. Requests are
+	// idempotent: duplicates and out-of-order arrivals re-serve the same
+	// (frozen, hence stable) contents.
+	KsFetchPage
+)
+
+// Write modes for KsWritePages (W1).
+const (
+	// WriteModeCopy overwrites pages: the pre-swap copy stream, where the
+	// destination placeholder is frozen and the source copy authoritative.
+	WriteModeCopy uint32 = iota
+	// WriteModeIfAbsent installs only pages the destination does not
+	// already hold: the post-swap residue push-out, racing demand pulls
+	// and the running guest's own writes (first writer wins, never
+	// double-apply).
+	WriteModeIfAbsent
+	// WriteModeInvalidate drops the listed pages instead of installing
+	// them: the hybrid policy's freeze-time correction for hot pages
+	// re-dirtied after their pre-copy. Run bodies are all zero-elided, so
+	// an invalidation run costs ~4 bytes per page on the wire.
+	WriteModeInvalidate
 )
 
 // KernelServerPID returns the kernel server address reachable through the
@@ -150,13 +177,52 @@ func (h *Host) handleKs(ctx *ProcCtx, m vid.Message) vid.Message {
 		if !ok {
 			return vid.ErrMsg(vid.CodeNotFound)
 		}
-		for i, pn := range pages {
-			if err := as.InstallPage(pn, data[i]); err != nil {
-				return vid.ErrMsg(vid.CodeBadRequest)
+		switch m.W[1] {
+		case WriteModeCopy:
+			for i, pn := range pages {
+				if err := as.InstallPage(pn, data[i]); err != nil {
+					return vid.ErrMsg(vid.CodeBadRequest)
+				}
 			}
+		case WriteModeIfAbsent:
+			for i, pn := range pages {
+				if _, err := as.InstallPageIfAbsent(pn, data[i]); err != nil {
+					return vid.ErrMsg(vid.CodeBadRequest)
+				}
+			}
+		case WriteModeInvalidate:
+			for _, pn := range pages {
+				as.Drop(pn)
+			}
+		default:
+			return vid.ErrMsg(vid.CodeBadRequest)
 		}
 		lh.lastWrite = h.Eng.Now()
 		return vid.Message{Op: m.Op}
+
+	case KsFetchPage:
+		lh, ok := h.lhs[vid.LHID(m.W[0])]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		spaceID, pages, err := DecodeFetchReq(m.Seg)
+		if err != nil {
+			return vid.ErrMsg(vid.CodeBadRequest)
+		}
+		as, ok := lh.spaces[spaceID]
+		if !ok {
+			return vid.ErrMsg(vid.CodeNotFound)
+		}
+		data := make([][]byte, len(pages))
+		for i, pn := range pages {
+			data[i] = as.PageView(pn)
+			// Delivered: the source's push-out skips pages whose marker is
+			// already clear. A duplicate fetch just re-serves the page — the
+			// receptacle is frozen, so the contents cannot have changed.
+			as.ClearDirtyPage(pn)
+		}
+		lh.lastWrite = h.Eng.Now()
+		return vid.Message{Op: m.Op, Seg: EncodePageRun(as.ID, pages, data)}
 
 	case KsReadPages:
 		lh, ok := h.lhs[vid.LHID(m.W[0])]

@@ -222,3 +222,43 @@ func DecodePageRun(seg []byte) (spaceID uint32, pages []mem.PageNo, data [][]byt
 	}
 	return spaceID, pages, data, nil
 }
+
+// ----------------------------------------------------- fetch requests
+
+// EncodeFetchReq packs a KsFetchPage request: one space id plus an
+// explicit page list. Unlike KsReadPages' (first, count) range, the list
+// is scattered — by the time the destination pulls, the hot pages in a
+// range have usually arrived through pre-copy or push-out and only the
+// gaps need fetching. The reply is a page run, so the list is bounded by
+// MaxRunPages.
+func EncodeFetchReq(spaceID uint32, pages []mem.PageNo) []byte {
+	buf := make([]byte, 0, 8+4*len(pages))
+	buf = binary.LittleEndian.AppendUint32(buf, spaceID)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pages)))
+	for _, pn := range pages {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pn))
+	}
+	return buf
+}
+
+// DecodeFetchReq unpacks a fetch request. Page-number words must fit the
+// real page-number space (no ZeroPageFlag bit: elision is a reply-side
+// concept) and the list must be non-empty and reply-sized.
+func DecodeFetchReq(seg []byte) (spaceID uint32, pages []mem.PageNo, err error) {
+	if len(seg) < 8 {
+		return 0, nil, fmt.Errorf("kernel: short fetch request")
+	}
+	spaceID = binary.LittleEndian.Uint32(seg)
+	n := int(binary.LittleEndian.Uint32(seg[4:]))
+	if n < 1 || n > MaxRunPages || len(seg) != 8+n*4 {
+		return 0, nil, fmt.Errorf("kernel: malformed fetch request (%d pages, %d bytes)", n, len(seg))
+	}
+	for i := 0; i < n; i++ {
+		w := binary.LittleEndian.Uint32(seg[8+4*i:])
+		if w&ZeroPageFlag != 0 {
+			return 0, nil, fmt.Errorf("kernel: fetch request page %#x out of range", w)
+		}
+		pages = append(pages, mem.PageNo(w))
+	}
+	return spaceID, pages, nil
+}

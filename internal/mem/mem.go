@@ -83,6 +83,13 @@ func (as *AddressSpace) getPage(pn PageNo, alloc bool) *page {
 	p := as.pages[pn]
 	if p == nil && as.fault != nil {
 		data := as.fault(pn)
+		// The handler blocks the faulting task; a racing installer (the
+		// post-copy source's background push-out) may have materialized the
+		// page meanwhile. First writer wins: prefer the installed page and
+		// drop the fetched copy, never overwrite.
+		if p = as.pages[pn]; p != nil {
+			return p
+		}
 		p = &page{data: make([]byte, PageSize)}
 		if data != nil {
 			copy(p.data, data)
@@ -275,6 +282,64 @@ func (as *AddressSpace) InstallPage(pn PageNo, data []byte) error {
 	copy(p.data, data)
 	p.dirty = false
 	return nil
+}
+
+// Present reports whether the page is materialized (absent pages read as
+// zeros, so "absent" and "all-zero page" are observably equivalent until
+// a demand-paging handler is installed).
+func (as *AddressSpace) Present(pn PageNo) bool {
+	_, ok := as.pages[pn]
+	return ok
+}
+
+// InstallPageIfAbsent installs a page only when the destination does not
+// already hold it — the receive side of a post-copy push-out, which races
+// demand pulls and the running guest's own writes (first writer wins,
+// never double-apply). All-zero installs are skipped outright: an absent
+// page already reads as zeros, and allocating it would only burn memory.
+// It reports whether the page was installed.
+func (as *AddressSpace) InstallPageIfAbsent(pn PageNo, data []byte) (bool, error) {
+	if err := as.check(uint32(pn)*PageSize, PageSize); err != nil {
+		return false, err
+	}
+	if len(data) != PageSize {
+		return false, fmt.Errorf("mem: InstallPageIfAbsent with %d bytes", len(data))
+	}
+	if _, present := as.pages[pn]; present || IsZeroPage(data) {
+		return false, nil
+	}
+	p := &page{data: make([]byte, PageSize)}
+	copy(p.data, data)
+	as.pages[pn] = p
+	return true, nil
+}
+
+// Drop discards a page, reverting it to the not-present state (a
+// subsequent access faults it back in, or reads zeros). The hybrid
+// migration policy uses this to invalidate stale pre-copied pages on the
+// destination at freeze time.
+func (as *AddressSpace) Drop(pn PageNo) { delete(as.pages, pn) }
+
+// MarkPageDirty sets an allocated page's dirty bit (a no-op for absent
+// pages). The post-copy source marks its frozen residue dirty at swap
+// time and uses the bits as not-yet-delivered markers.
+func (as *AddressSpace) MarkPageDirty(pn PageNo) {
+	if p := as.pages[pn]; p != nil {
+		p.dirty = true
+	}
+}
+
+// ClearDirtyPage clears one page's dirty bit (a no-op for absent pages).
+func (as *AddressSpace) ClearDirtyPage(pn PageNo) {
+	if p := as.pages[pn]; p != nil {
+		p.dirty = false
+	}
+}
+
+// PageDirty reports one page's dirty bit (false for absent pages).
+func (as *AddressSpace) PageDirty(pn PageNo) bool {
+	p := as.pages[pn]
+	return p != nil && p.dirty
 }
 
 // Equal reports whether two spaces have identical sizes and contents

@@ -198,6 +198,26 @@ var (
 	// loop; ~4 is enough to hide the reply-latency gap between runs and
 	// keep the destination kernel server busy. Swept by E10.
 	CopyWindow = 4
+
+	// HybridSampleInterval is how long the hybrid policy tracks dirty bits
+	// (while the program runs) to identify the hot working set it
+	// pre-copies before the identity swap. Long enough for a hot loop to
+	// touch its whole set at Table 4-1 rates, short compared to a full
+	// pre-copy round.
+	HybridSampleInterval = 400 * time.Millisecond
+
+	// FetchRunPages is how many pages a post-copy destination pulls per
+	// KsFetchPage request: the faulted page plus read-ahead, and the batch
+	// size of the background pull. Max kernel.MaxRunPages (the reply must
+	// encode as one page run).
+	FetchRunPages = 8
+
+	// ResidueDrainTimeout bounds how long a post-copy source waits for the
+	// last deferred pages to become resident at the destination before
+	// declaring the residue lost. Orders of magnitude above a healthy
+	// drain (milliseconds); it only fires when the destination stops
+	// making progress entirely.
+	ResidueDrainTimeout = 30 * time.Second
 )
 
 // SelectTimeout is how long a host-selection query waits for its first

@@ -182,6 +182,7 @@ type PM struct {
 	progs  map[vid.LHID]*progInfo
 	exited map[vid.LHID]uint32  // recently exited: exit codes for late waiters
 	moved  map[vid.LHID]movedTo // migrated or re-executed away
+	lost   map[vid.LHID]bool    // aborted guests (post-copy residue loss)
 
 	reaper   *kernel.Process
 	exits    []*kernel.LogicalHost
@@ -221,6 +222,7 @@ func Start(h *kernel.Host) *PM {
 		progs:    make(map[vid.LHID]*progInfo),
 		exited:   make(map[vid.LHID]uint32),
 		moved:    make(map[vid.LHID]movedTo),
+		lost:     make(map[vid.LHID]bool),
 		sessions: make(map[vid.LHID]*session),
 		alias:    make(map[vid.LHID]vid.LHID),
 	}
@@ -300,6 +302,27 @@ func (pm *PM) reap(ctx *kernel.ProcCtx) {
 			}
 		}
 	}
+}
+
+// AbortGuest destroys a hosted guest whose memory can no longer be
+// completed — a post-copy residue loss: the source receptacle died before
+// the destination held every page. Unlike a normal exit the program is
+// recorded nowhere afterwards — not in exited, not in moved — so the
+// owning session's next lease renewal sees not-found, expires the lease,
+// and re-executes the program from its file-server image. Pending waiters
+// are bounced with CodeAborted; the session layer re-answers them after
+// recovery. Called from the faulting process's context (t).
+func (pm *PM) AbortGuest(t *sim.Task, lhid vid.LHID) {
+	pi := pm.progs[lhid]
+	if pi == nil {
+		return
+	}
+	delete(pm.progs, lhid)
+	pm.lost[lhid] = true
+	for _, w := range pi.waiters {
+		pm.proc.Port().Reply(t, w, vid.ErrMsg(vid.CodeAborted))
+	}
+	pm.host.DestroyLH(pi.lh)
 }
 
 // MigrateAway is the programmatic equivalent of PmMigrateProgram for
@@ -546,6 +569,13 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 				default: // broken: deferred until recovery resolves
 					s.waiters = append(s.waiters, req)
 				}
+				continue
+			}
+			if pm.lost[lhid] {
+				// Torn down administratively (post-copy residue loss): the
+				// waiter re-asks its home supervisor, which resolves the
+				// session once the lease breaks.
+				ctx.Reply(req, vid.ErrMsg(vid.CodeAborted))
 				continue
 			}
 			ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))

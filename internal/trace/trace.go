@@ -125,6 +125,14 @@ const (
 	// the destination). The per-engine Stats.WindowSends counter must
 	// always equal the count of these events; tests hold the two to parity.
 	EvCopyWindow
+	// EvRemoteFault: a demand fault on a migrated program's address space
+	// parked the faulting process and fetched the page remotely — from the
+	// post-copy source receptacle or, for a flush migration, the file
+	// server (Host the faulting station, LH the program's logical host,
+	// Size the page number). The per-program PagerStats.Faults counters
+	// must in aggregate equal the count of these events; tests hold the
+	// two to parity.
+	EvRemoteFault
 
 	numKinds
 )
@@ -136,7 +144,7 @@ var kindNames = [numKinds]string{
 	"partition", "heal", "mig-fault", "bind-hit", "bind-miss",
 	"bind-invalidate", "select-query", "select-candidate", "select-choice",
 	"host-suspect", "host-clear", "lease-expire", "exec-restart",
-	"copy-window",
+	"copy-window", "remote-fault",
 }
 
 func (k Kind) String() string {
@@ -178,12 +186,18 @@ const (
 	PhaseSwap
 	// PhaseRebind: unfreezing the new copy and broadcasting the binding.
 	PhaseRebind
+	// PhasePostSwapPull: the post-copy residue window — from the commit of
+	// the identity swap until the source receptacle has pushed out (or the
+	// destination has pulled) every remaining page. The guest runs
+	// throughout; only individual faulting references stall.
+	PhasePostSwapPull
 
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
 	"select", "precopy", "freeze", "residue", "swap", "rebind",
+	"postswap-pull",
 }
 
 func (p Phase) String() string {
