@@ -59,6 +59,7 @@ import (
 	"vsystem/internal/nameserver"
 	"vsystem/internal/params"
 	"vsystem/internal/progs"
+	"vsystem/internal/rsm"
 	"vsystem/internal/sched"
 	"vsystem/internal/trace"
 	"vsystem/internal/vid"
@@ -73,6 +74,8 @@ func main() {
 		policy = flag.String("policy", "precopy", "migration policy: precopy|stopcopy|flush|forwarding|postcopy|hybrid")
 		sel    = flag.String("select", "first", "host-selection policy: first|random|least")
 		window = flag.Int("window", params.CopyWindow, "bulk-transfer copy window (1 = stop-and-wait)")
+		repFS  = flag.Int("replicate-fs", 0, "file/name-server replicas (0 or 1 = single server machine)")
+		repPM  = flag.Int("replicate-home", 0, "home-PM group replicas (0 or 1 = unreplicated home)")
 	)
 	flag.Parse()
 
@@ -94,7 +97,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	r := newRepl(core.Options{Workstations: *n, Seed: *seed, LossRate: *loss, Policy: pol, Select: selPol}, os.Stdout)
+	r := newRepl(core.Options{
+		Workstations: *n, Seed: *seed, LossRate: *loss, Policy: pol, Select: selPol,
+		ReplicateFS: *repFS, ReplicateHome: *repPM,
+	}, os.Stdout)
 	r.loop(os.Stdin)
 }
 
@@ -580,10 +586,53 @@ func (r *repl) exec(line string) bool {
 		r.c.Fault.Heal()
 		r.printf("all partitions healed")
 
+	case "replicas":
+		any := false
+		if rep := r.c.Nodes[0].PM.HomeReplica(); rep != nil {
+			any = true
+			r.printf("home-PM group:")
+			for _, n := range r.c.Nodes {
+				hr := n.PM.HomeReplica()
+				if hr == nil {
+					continue
+				}
+				r.printReplica(n.Name(), n.Host.Crashed(), hr)
+			}
+		}
+		if len(r.c.FSReps) > 1 {
+			any = true
+			r.printf("file/name servers:")
+			for i, h := range r.c.FSHosts {
+				r.printReplica(fmt.Sprintf("fs%d", i), h.Crashed(), r.c.FSReps[i].Replica())
+				r.printReplica(fmt.Sprintf("ns%d", i), h.Crashed(), r.c.NSReps[i].Replica())
+			}
+		}
+		if !any {
+			r.printf("no replicated services (boot with -replicate-home / -replicate-fs)")
+		}
+
 	default:
 		r.printf("! unknown command %q", f[0])
 	}
 	return true
+}
+
+// printReplica shows one consensus-group member's role and progress.
+func (r *repl) printReplica(name string, crashed bool, rep *rsm.Replica) {
+	if rep == nil {
+		return
+	}
+	if crashed {
+		r.printf("  %-5s crashed", name)
+		return
+	}
+	role := "follower"
+	if rep.IsLeader() {
+		role = "LEADER"
+	}
+	st := rep.Stats()
+	r.printf("  %-5s %-8s term=%d applied=%d commits=%d elections=%d failovers=%d",
+		name, role, rep.Term(), rep.AppliedIndex(), st.Commits, st.Elections, st.Failovers)
 }
 
 // nodeByMAC names the workstation behind a station address.

@@ -20,6 +20,7 @@ import (
 	"vsystem/internal/nameserver"
 	"vsystem/internal/params"
 	"vsystem/internal/progmgr"
+	"vsystem/internal/rsm"
 	"vsystem/internal/sched"
 	"vsystem/internal/sim"
 	"vsystem/internal/trace"
@@ -43,6 +44,15 @@ type Options struct {
 	// Default sched.FirstResponse — the paper's baseline. Load-aware
 	// policies additionally turn on the periodic load beacon.
 	Select sched.Policy
+	// ReplicateFS runs that many server machines, each carrying a
+	// consensus-backed file-server and name-server replica, so the storage
+	// and naming services survive any minority of server deaths. 0 or 1
+	// keeps the single unreplicated server machine (the default).
+	ReplicateFS int
+	// ReplicateHome backs each workstation's home services (session
+	// supervision) with a consensus group of that many program managers.
+	// 0 or 1 keeps the single home PM (the default).
+	ReplicateHome int
 }
 
 // Cluster is a simulated V installation: workstations plus a server
@@ -56,6 +66,19 @@ type Cluster struct {
 	FS     *fileserver.Server
 	// NS is the global name server (resident on the server machine).
 	NS *nameserver.Server
+	// FSHosts/FSReps/NSReps are the replicated server machines and the
+	// file/name-server replicas riding them when Options.ReplicateFS ≥ 2
+	// (FSHosts[0] == FSHost, FSReps[0] == FS, NSReps[0] == NS). The rsm
+	// stores are the replicas' "disks" — they survive crash/restart.
+	FSHosts  []*kernel.Host
+	FSReps   []*fileserver.Server
+	NSReps   []*nameserver.Server
+	fsStores []*rsm.Store
+	nsStores []*rsm.Store
+	// homeStores are the home-group members' durable logs (workstation i
+	// carries home replica i for i < len(homeStores)); non-empty exactly
+	// when Options.ReplicateHome enabled the home PM group.
+	homeStores []*rsm.Store
 	// Trace is the cluster-wide event bus and metrics registry; every
 	// layer (ethernet, ipc, kernel, migration) publishes into it.
 	Trace *trace.Bus
@@ -212,16 +235,59 @@ func NewCluster(opt Options) *Cluster {
 			}
 		}
 	})
-	c.FSHost = kernel.NewHost(eng, bus, opt.Workstations, "fserv")
-	c.FSHost.IPC.SetBindingCacheCap(bindCap)
-	c.FSHost.AttachTrace(tb)
-	c.FSHost.EnableLoadAds(0)
-	registerHostMetrics(tb, c.FSHost)
-	c.FS = fileserver.Start(c.FSHost)
-	c.NS = nameserver.Start(c.FSHost)
-	c.Fault.RegisterHost(c.FSHost.NIC.MAC(), c.FSHost.Crash, c.restartFS)
-	// Resident servers announce themselves to the global name service.
-	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
+	// Home PM group: the first ReplicateHome workstations' program managers
+	// form a consensus group replicating the session-supervision registry,
+	// so losing the member that happens to lead supervision does not lose
+	// the user's sessions.
+	nhome := opt.ReplicateHome
+	if nhome > opt.Workstations {
+		nhome = opt.Workstations
+	}
+	if nhome >= 2 {
+		for i := 0; i < nhome; i++ {
+			c.homeStores = append(c.homeStores, rsm.NewStore())
+			c.Nodes[i].PM.EnableHomeGroup(i, nhome, c.homeStores[i])
+		}
+	}
+	// Server machines: one unreplicated host by default, or ReplicateFS
+	// consensus-backed replicas, each carrying a file-server and a
+	// name-server replica over shared durable stores.
+	nfs := opt.ReplicateFS
+	if nfs < 2 {
+		nfs = 1
+	}
+	for j := 0; j < nfs; j++ {
+		name := "fserv"
+		if nfs > 1 {
+			name = fmt.Sprintf("fserv%d", j)
+		}
+		h := kernel.NewHost(eng, bus, opt.Workstations+j, name)
+		h.IPC.SetBindingCacheCap(bindCap)
+		h.AttachTrace(tb)
+		h.EnableLoadAds(0)
+		registerHostMetrics(tb, h)
+		c.FSHosts = append(c.FSHosts, h)
+		var fs *fileserver.Server
+		var ns *nameserver.Server
+		if nfs > 1 {
+			c.fsStores = append(c.fsStores, rsm.NewStore())
+			c.nsStores = append(c.nsStores, rsm.NewStore())
+			fs = fileserver.StartReplica(h, j, nfs, c.fsStores[j])
+			ns = nameserver.StartReplica(h, j, nfs, c.nsStores[j])
+		} else {
+			fs = fileserver.Start(h)
+			ns = nameserver.Start(h)
+		}
+		c.FSReps = append(c.FSReps, fs)
+		c.NSReps = append(c.NSReps, ns)
+		j := j
+		c.Fault.RegisterHost(h.NIC.MAC(), h.Crash, func() { c.restartFSReplica(j) })
+	}
+	c.FSHost, c.FS, c.NS = c.FSHosts[0], c.FSReps[0], c.NSReps[0]
+	// Resident servers announce themselves to the global name service. The
+	// replicated service registers its group id — a pinned replica PID
+	// would die with that replica.
+	nameserver.RegisterSelf(c.FSHost, "fileserver", c.fsRegistryPID())
 	// Stagger the workstations' boot registrations the way their load
 	// beacons already are: launched simultaneously, a big cluster's
 	// registration herd retransmits against the name server faster than
@@ -270,12 +336,55 @@ func registerSupMetrics(tb *trace.Bus, n *Node) {
 	})
 }
 
-// Install stores a program image on the file server (and remembers it so
-// a restarted file server can be restocked).
+// Install stores a program image on every file-server replica (and
+// remembers it so a restarted server can be restocked). Boot images are
+// poked directly rather than committed through the log: they are the
+// immutable stock a real server reloads from disk, identical on every
+// replica by construction.
 func (c *Cluster) Install(img *image.Image) {
 	data := img.Encode()
 	c.images = append(c.images, installedImage{name: img.Name, data: data})
-	c.FS.Put(img.Name, data)
+	for _, fs := range c.FSReps {
+		fs.Put(img.Name, data)
+	}
+}
+
+// fsRegistryPID is the PID registered under "fileserver": the group id
+// when the service is replicated (a pinned replica PID would die with
+// that replica), the single server's PID otherwise.
+func (c *Cluster) fsRegistryPID() vid.PID {
+	if len(c.FSReps) > 1 {
+		return vid.GroupFileServers
+	}
+	return c.FS.PID()
+}
+
+// fsTarget resolves the file-server write target: the single server when
+// unreplicated, the current leader as known by a live replica when one is
+// known, else the file-server group (the leader answers, followers stay
+// silent).
+func (c *Cluster) fsTarget() vid.PID {
+	if len(c.FSReps) <= 1 {
+		return c.FS.PID()
+	}
+	for i, fs := range c.FSReps {
+		if c.FSHosts[i].Crashed() {
+			continue
+		}
+		want := fs.LeaderSvc()
+		if want == vid.Nil {
+			continue
+		}
+		// Only trust a hint that names a replica incarnation still alive —
+		// a crashed or superseded leader PID would cost the client a failed
+		// send before its group retry.
+		for k, r := range c.FSReps {
+			if !c.FSHosts[k].Crashed() && r.PID() == want {
+				return want
+			}
+		}
+	}
+	return vid.GroupFileServers
 }
 
 // Restart reboots a crashed workstation: the kernel comes back with a
@@ -292,25 +401,66 @@ func (n *Node) Restart() {
 	n.PM = progmgr.Start(n.Host)
 	n.PM.Migrator = &Migrator{Policy: c.policy, Cluster: c, FaultHook: c.Fault.OnPhase, Selector: n.Selector}
 	n.PM.Selector = n.Selector
+	// A home-group member rejoins the group over its surviving durable log
+	// and catches up from the current leader (log replay or snapshot).
+	if i := n.index(); i >= 0 && i < len(c.homeStores) {
+		n.PM.EnableHomeGroup(i, len(c.homeStores), c.homeStores[i])
+	}
 	n.Display = display.Start(n.Host)
 	nameserver.RegisterSelf(n.Host, "display."+n.Name(), n.Display.PID())
 	nameserver.RegisterSelf(n.Host, "progmgr."+n.Name(), n.PM.PID())
 }
 
-// restartFS reboots the server machine: file server and name server come
-// back and the file server is restocked with every installed image (a
-// real V file server would reload from disk).
-func (c *Cluster) restartFS() {
-	if !c.FSHost.Crashed() {
+// restartFSReplica reboots server machine j: its file-server and
+// name-server replicas come back over the durable stores that survived
+// the crash, restocked with every installed image (a real V file server
+// would reload from disk); runtime mutations replay from the consensus
+// log or arrive by snapshot once the replica rejoins.
+func (c *Cluster) restartFSReplica(j int) {
+	h := c.FSHosts[j]
+	if !h.Crashed() {
 		return
 	}
-	c.FSHost.Restart()
-	c.FS = fileserver.Start(c.FSHost)
-	c.NS = nameserver.Start(c.FSHost)
-	for _, img := range c.images {
-		c.FS.Put(img.name, img.data)
+	h.Restart()
+	if len(c.FSHosts) > 1 {
+		c.FSReps[j] = fileserver.StartReplica(h, j, len(c.FSHosts), c.fsStores[j])
+		c.NSReps[j] = nameserver.StartReplica(h, j, len(c.FSHosts), c.nsStores[j])
+	} else {
+		c.FSReps[j] = fileserver.Start(h)
+		c.NSReps[j] = nameserver.Start(h)
 	}
-	nameserver.RegisterSelf(c.FSHost, "fileserver", c.FS.PID())
+	for _, img := range c.images {
+		c.FSReps[j].Put(img.name, img.data)
+	}
+	if j == 0 {
+		c.FS, c.NS = c.FSReps[0], c.NSReps[0]
+	}
+	nameserver.RegisterSelf(h, "fileserver", c.fsRegistryPID())
+}
+
+// homeEnabled reports whether the cluster runs a replicated home PM group.
+func (c *Cluster) homeEnabled() bool { return len(c.homeStores) > 0 }
+
+// index returns the node's position in the cluster (-1 if foreign).
+func (n *Node) index() int {
+	for i, nn := range n.cluster.Nodes {
+		if nn == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// HomeLeaderIdx returns the workstation index currently leading the home
+// PM group (-1 when no fenced leader exists or the group is disabled).
+func (c *Cluster) HomeLeaderIdx() int {
+	for i := 0; i < len(c.homeStores) && i < len(c.Nodes); i++ {
+		n := c.Nodes[i]
+		if !n.Host.Crashed() && n.PM.HomeReplica() != nil && n.PM.HomeReplica().IsLeader() {
+			return i
+		}
+	}
+	return -1
 }
 
 // Run advances the cluster by d of virtual time.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"strings"
+	"time"
 
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
@@ -178,13 +179,62 @@ func (a *Agent) ExecR(prog string, args []string, where string, maxRestarts int)
 		return nil, sm.Err()
 	}
 	if guest == 1 && maxRestarts > 0 {
-		a.node.PM.Supervise(progmgr.SessionInfo{
+		a.superviseSession(&progmgr.SessionInfo{
 			LHID: job.LHID, PID: job.PID, Name: prog, Args: args,
 			Stdout: a.node.Display.PID(), MinMem: ExecMinMem,
 			HostPM: sel.PM, HostLH: sel.SystemLH, MaxRestarts: maxRestarts,
 		})
 	}
 	return job, nil
+}
+
+// superviseSession registers a remote job with the home supervisor: the
+// replicated home group when the cluster runs one (the record lands in the
+// consensus registry and survives any single member's death), else this
+// workstation's own manager.
+func (a *Agent) superviseSession(si *progmgr.SessionInfo) {
+	if a.node.cluster.homeEnabled() {
+		seg := progmgr.EncodeSessionInfo(si)
+		for attempt := 0; attempt < 4; attempt++ {
+			m, err := a.ctx.Send(vid.GroupHomePMs, vid.Message{
+				Op: progmgr.PmSupervise, Seg: seg,
+			})
+			if err == nil && m.OK() {
+				return
+			}
+			// Group silence usually means an election in progress (boot, or
+			// a member just died); give it a beat and re-ask.
+			a.Sleep(300 * time.Millisecond)
+		}
+		// Group unreachable (mid-election or partitioned away): fall back to
+		// local supervision so the job is watched by *someone*.
+	}
+	a.node.PM.Supervise(*si)
+}
+
+// homeWaitTarget is where a Wait retreats when the hosting manager cannot
+// answer: the home group when replicated, else the home workstation's own
+// manager.
+func (a *Agent) homeWaitTarget() vid.PID {
+	if a.node.cluster.homeEnabled() {
+		return vid.GroupHomePMs
+	}
+	return a.node.PM.PID()
+}
+
+// noteExited tells the home supervisor the session is over (stops the
+// lease heartbeat; a no-op for unsupervised jobs).
+func (a *Agent) noteExited(lhid vid.LHID, code uint32) {
+	if a.node.cluster.homeEnabled() {
+		if m, err := a.ctx.Send(vid.GroupHomePMs, vid.Message{
+			Op: progmgr.PmNoteExited, W: [6]uint32{uint32(lhid), code},
+		}); err == nil && m.OK() {
+			return
+		}
+		// Group unreachable: harmless — the leader's next renewal sees the
+		// exit code from the hosting manager and commits it then.
+	}
+	a.node.PM.NoteExited(lhid, code)
 }
 
 func whereName(a *Agent, sel HostSel) string {
@@ -210,16 +260,32 @@ var ErrTooManyMoves = errors.New("core: wait followed too many moves")
 func (a *Agent) Wait(job *Job) (uint32, error) {
 	moves := 0
 	for {
+		w := [6]uint32{uint32(job.LHID)}
+		if job.PM == vid.GroupHomePMs {
+			// Home-group wait: the flag makes every member but the current
+			// leader stay silent, so the group send has one authority.
+			w[5] = progmgr.PmWaitHome
+		}
 		m, err := a.ctx.Send(job.PM, vid.Message{
 			Op: progmgr.PmWaitProgram,
-			W:  [6]uint32{uint32(job.LHID)},
+			W:  w,
 		})
 		if err != nil {
-			if home := a.node.PM.PID(); job.PM != home {
+			if home := a.homeWaitTarget(); job.PM != home {
 				job.PM = home
 				if moves++; moves > params.WaitMaxMoves {
 					return 0, ErrTooManyMoves
 				}
+				continue
+			}
+			if job.PM == vid.GroupHomePMs {
+				// Group silence is mid-election, not absence: wait out a
+				// lease interval and re-ask. The moves cap bounds the
+				// patience if the group really is gone.
+				if moves++; moves > params.WaitMaxMoves {
+					return 0, ErrTooManyMoves
+				}
+				a.Sleep(params.LeaseInterval)
 				continue
 			}
 			return 0, err
@@ -240,7 +306,7 @@ func (a *Agent) Wait(job *Job) (uint32, error) {
 			// is the home supervisor's call: once the broken lease expires
 			// it re-executes the program (or fails the session), so re-ask
 			// at home after a lease interval rather than surface the abort.
-			if home := a.node.PM.PID(); m.Code == vid.CodeAborted && job.PM != home {
+			if home := a.homeWaitTarget(); m.Code == vid.CodeAborted && job.PM != home {
 				job.PM = home
 				if moves++; moves > params.WaitMaxMoves {
 					return 0, ErrTooManyMoves
@@ -250,9 +316,7 @@ func (a *Agent) Wait(job *Job) (uint32, error) {
 			}
 			return 0, m.Err()
 		}
-		// Tell the home supervisor the session is over (stops the lease
-		// heartbeat; a no-op for unsupervised jobs).
-		a.node.PM.NoteExited(job.LHID, m.W[0])
+		a.noteExited(job.LHID, m.W[0])
 		return m.W[0], nil
 	}
 }

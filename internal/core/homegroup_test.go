@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vsystem/internal/params"
+	"vsystem/internal/progs"
+	"vsystem/internal/sim"
+	"vsystem/internal/trace"
+	"vsystem/internal/vid"
+)
+
+// The heart of the PR: a session supervised by the replicated home group
+// must survive the death of the group member that leads it. The home
+// leader is killed mid-session, a successor takes over the lease worker
+// from the committed registry, and when the hosting workstation then dies
+// too, the successor — not the original (dead) supervisor — re-executes
+// the program. Ticker output must stay gapless and duplicate-free: the
+// exactly-once invariant across both failovers.
+func TestHomeLeaderCrashSessionSurvives(t *testing.T) {
+	c := boot(t, Options{Workstations: 6, Seed: 1, ReplicateHome: 3})
+	c.Install(progs.Ticker(300))
+
+	// Kill the home leader once the session is established.
+	var leaderCrash, nextElect sim.Time
+	c.Sim.At(c.Sim.Now().Add(5*time.Second), func() {
+		idx := c.HomeLeaderIdx()
+		if idx < 0 {
+			t.Error("no home leader elected by 5s")
+			return
+		}
+		leaderCrash = c.Sim.Now()
+		c.Nodes[idx].Host.Crash()
+	})
+	// Record the next home-group election after the kill: the failover gap.
+	c.Trace.Subscribe(func(ev trace.Event) {
+		if ev.Kind == trace.EvElect && leaderCrash != 0 && nextElect == 0 &&
+			ev.At > leaderCrash && ev.LH == vid.GroupHomeRSM.LH() {
+			nextElect = ev.At
+		}
+	})
+	// Then kill the hosting workstation: the *new* leader must recover the
+	// session (the original supervisor is dead).
+	c.Sim.At(c.Sim.Now().Add(11*time.Second), func() {
+		c.Node(4).Host.Crash()
+	})
+
+	var code uint32
+	var err error
+	done := false
+	c.Node(3).Agent(func(a *Agent) {
+		a.Sleep(2500 * time.Millisecond) // let the group elect its first leader
+		var job *Job
+		if job, err = a.Exec("ticker300", nil, "ws4"); err == nil {
+			code, err = a.Wait(job)
+		}
+		done = true
+	})
+	c.Run(4 * time.Minute)
+
+	if !done {
+		t.Fatal("agent never finished")
+	}
+	if err != nil {
+		t.Fatalf("wait across home failover: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	assertGapless(t, c.Node(3).Display.Lines(), 300)
+	if got := c.Trace.Count(trace.EvExecRestart); got < 1 {
+		t.Fatalf("EvExecRestart = %d, want ≥1 (new leader must re-execute)", got)
+	}
+	if nextElect == 0 {
+		t.Fatal("no home re-election observed after the leader kill")
+	}
+	if gap := nextElect.Sub(leaderCrash); gap > params.RsmFailoverBudget {
+		t.Fatalf("home failover took %v, budget %v", gap, params.RsmFailoverBudget)
+	}
+}
+
+// Satellite: Agent.Wait held by the home leader when it dies must converge
+// on the successor within the WaitMaxMoves redirect budget — the waiter is
+// re-pointed at the group, lands on the new leader, and gets the exit.
+func TestWaitSurvivesHomeFailoverMidWait(t *testing.T) {
+	c := boot(t, Options{Workstations: 6, Seed: 2, ReplicateHome: 3})
+	c.Install(progs.Ticker(300))
+
+	// Crash the hosting workstation first so the session breaks and the
+	// waiter is *held* by the home leader, then kill that leader while it
+	// holds the waiter mid-recovery.
+	c.Sim.At(c.Sim.Now().Add(6*time.Second), func() { c.Node(4).Host.Crash() })
+	c.Sim.At(c.Sim.Now().Add(7*time.Second), func() {
+		if idx := c.HomeLeaderIdx(); idx >= 0 {
+			c.Nodes[idx].Host.Crash()
+		}
+	})
+
+	var code uint32
+	var err error
+	done := false
+	c.Node(3).Agent(func(a *Agent) {
+		a.Sleep(2500 * time.Millisecond)
+		var job *Job
+		if job, err = a.Exec("ticker300", nil, "ws4"); err == nil {
+			code, err = a.Wait(job)
+		}
+		done = true
+	})
+	c.Run(4 * time.Minute)
+
+	if !done {
+		t.Fatal("agent never finished")
+	}
+	if err != nil {
+		t.Fatalf("wait across mid-wait home failover: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	assertGapless(t, c.Node(3).Display.Lines(), 300)
+}
+
+// Baseline: without a home group the same leader-and-host double kill
+// loses the session — the home manager (the only supervisor) dies with
+// its registry and nobody re-executes the program. This is what the
+// consensus group buys.
+func TestUnreplicatedHomeDiesWithSupervisor(t *testing.T) {
+	c := boot(t, Options{Workstations: 6, Seed: 1})
+	c.Install(progs.Ticker(300))
+
+	// Kill the home workstation (the supervisor), then the hosting one.
+	c.Sim.At(c.Sim.Now().Add(5*time.Second), func() { c.Node(3).Host.Crash() })
+	c.Sim.At(c.Sim.Now().Add(8*time.Second), func() { c.Node(4).Host.Crash() })
+
+	c.Node(3).Agent(func(a *Agent) {
+		a.Sleep(2500 * time.Millisecond)
+		a.Exec("ticker300", nil, "ws4")
+		// The agent dies with ws3; the point is what happens afterwards.
+	})
+	c.Run(2 * time.Minute)
+
+	if got := c.Trace.Count(trace.EvExecRestart); got != 0 {
+		t.Fatalf("EvExecRestart = %d, want 0 (no supervisor left to recover)", got)
+	}
+}

@@ -42,7 +42,6 @@ type PagerStats struct {
 func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.LogicalHost,
 	win *ipc.Window, rep *MigrationReport) error {
 
-	fs := mg.fileServerPID()
 	prefix := fmt.Sprintf("pg/%04x", uint16(lh.ID()))
 
 	var pending []spacePages
@@ -52,7 +51,7 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 	}
 	for round := 0; ; round++ {
 		roundStart := ctx.Now()
-		if err := mg.flushPages(ctx, fs, prefix, win, pending, rep); err != nil {
+		if err := mg.flushPages(ctx, prefix, win, pending, rep); err != nil {
 			return err
 		}
 		dur := ctx.Now().Sub(roundStart)
@@ -75,7 +74,7 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 			pm.Host().Freeze(lh)
 			mg.freezeStart = ctx.Now()
 			rep.ResidualKB = dirtyKB
-			if err := mg.flushPages(ctx, fs, prefix, win, dirty, rep); err != nil {
+			if err := mg.flushPages(ctx, prefix, win, dirty, rep); err != nil {
 				return err
 			}
 			mg.span(trace.Span{
@@ -91,10 +90,13 @@ func (mg *Migrator) flushOut(ctx *kernel.ProcCtx, pm *progmgr.PM, lh *kernel.Log
 // flushPages writes pages to the file server's paging store in page-run
 // batches (V moved up to 32 KB as a unit, §3.1; a paging server would
 // batch writes the same way), pipelined through the same bulk-transfer
-// window as the direct copy paths.
-func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, fs vid.PID, prefix string,
+// window as the direct copy paths. The write target is re-resolved per
+// call so a flush round started before a file-server failover still
+// reaches the new leader.
+func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, prefix string,
 	win *ipc.Window, sp []spacePages, rep *MigrationReport) error {
 
+	fs := mg.fileServerPID()
 	if mg.scratch == nil {
 		mg.scratch = make([][]byte, kernel.MaxRunPages)
 	}
@@ -111,7 +113,10 @@ func (mg *Migrator) flushPages(ctx *kernel.ProcCtx, fs vid.PID, prefix string,
 			}
 			seg := append([]byte(prefix), 0)
 			seg = append(seg, kernel.EncodePageRun(s.as.ID, batch, data)...)
-			if err := win.Send(ctx.Task(), fs, vid.Message{Op: fileserver.OpPageOutRun, Seg: seg}); err != nil {
+			out := vid.Message{
+				Op: fileserver.OpPageOutRun, W: [6]uint32{0, 0, 0, 0, 0, fsW5(fs)}, Seg: seg,
+			}
+			if err := win.Send(ctx.Task(), fs, out); err != nil {
 				return ErrMigrationFailed
 			}
 			rep.BytesCopied += int64(len(batch)) * mem.PageSize
@@ -130,8 +135,19 @@ func pageKey(prefix string, space uint32, pn mem.PageNo) string {
 
 // fileServerPID resolves the cluster's file server (in V this binding
 // comes from the program's name cache; the simulation resolves it through
-// the cluster facade).
-func (mg *Migrator) fileServerPID() vid.PID { return mg.Cluster.FS.PID() }
+// the cluster facade). With a replicated file service it names the current
+// write leader when one is known, else the file-server group.
+func (mg *Migrator) fileServerPID() vid.PID { return mg.Cluster.fsTarget() }
+
+// fsW5 marks a request unicast-addressed (fileserver.FsUnicast) so a
+// replica that lost authority answers CodeNotLeader promptly instead of
+// leaving the sender to ride out a full send abort in silence.
+func fsW5(dst vid.PID) uint32 {
+	if dst.IsGroup() {
+		return 0
+	}
+	return fileserver.FsUnicast
+}
 
 // installPager configures demand paging on the new copy's (empty) address
 // spaces: the first access to a missing page pulls it from the file
@@ -146,7 +162,6 @@ func (mg *Migrator) installPager(lhid vid.LHID, destSys vid.LHID) {
 	if !ok {
 		return
 	}
-	fs := mg.fileServerPID()
 	prefix := fmt.Sprintf("pg/%04x", uint16(lhid))
 	stats := &PagerStats{}
 	mg.Cluster.registerPager(lhid, stats)
@@ -163,10 +178,21 @@ func (mg *Migrator) installPager(lhid vid.LHID, destSys vid.LHID) {
 			mg.publishRemoteFault(node, lhid, pn, start)
 			port := node.Host.IPC.NewPort(node.pagerPID())
 			defer port.Close()
-			m, err := port.Send(t, fs, vid.Message{
-				Op:  fileserver.OpPageIn,
+			// Resolve the serving replica per fault — the leader at install
+			// time may be dead by the time this page is referenced.
+			dst := mg.fileServerPID()
+			pageIn := vid.Message{
+				Op: fileserver.OpPageIn, W: [6]uint32{0, 0, 0, 0, 0, fsW5(dst)},
 				Seg: []byte(pageKey(prefix, as.ID, pn)),
-			})
+			}
+			m, err := port.Send(t, dst, pageIn)
+			if (err != nil || (!m.OK() && m.Code != vid.CodeNotFound)) && !dst.IsGroup() {
+				// Pinned leader gone: one bounded retry through the group.
+				// (Not-found is a definitive answer — a hole page — and is
+				// not retried.)
+				pageIn.W[5] = 0
+				m, err = port.Send(t, vid.GroupFileServers, pageIn)
+			}
 			stats.StallTime += node.Host.Eng.Now().Sub(start)
 			if err != nil || !m.OK() {
 				return nil // never flushed: a zero (hole) page
@@ -271,15 +297,23 @@ func (rs *residueState) demandFetch(t *sim.Task, as *mem.AddressSpace, pn mem.Pa
 	return nil
 }
 
-// fetchFromFS tries the file server's paging store for one page.
+// fetchFromFS tries the file server's paging store for one page. The
+// flush-image fallback is exactly the path that must survive a file-server
+// crash: a dead pinned leader gets one bounded retry through the group.
 func (rs *residueState) fetchFromFS(t *sim.Task, as *mem.AddressSpace, pn mem.PageNo) []byte {
 	prefix := fmt.Sprintf("pg/%04x", uint16(rs.destLH.ID()))
 	port := rs.node.Host.IPC.NewPort(rs.node.pagerPID())
 	defer port.Close()
-	m, err := port.Send(t, rs.mg.fileServerPID(), vid.Message{
-		Op:  fileserver.OpPageIn,
+	dst := rs.mg.fileServerPID()
+	pageIn := vid.Message{
+		Op: fileserver.OpPageIn, W: [6]uint32{0, 0, 0, 0, 0, fsW5(dst)},
 		Seg: []byte(pageKey(prefix, as.ID, pn)),
-	})
+	}
+	m, err := port.Send(t, dst, pageIn)
+	if (err != nil || (!m.OK() && m.Code != vid.CodeNotFound)) && !dst.IsGroup() {
+		pageIn.W[5] = 0
+		m, err = port.Send(t, vid.GroupFileServers, pageIn)
+	}
 	if err != nil || !m.OK() {
 		return nil
 	}

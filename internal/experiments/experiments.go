@@ -97,6 +97,7 @@ func All(seed int64) []*Result {
 		PrecopyRounds(seed),
 		FaultSweep(seed),
 		GuestCrash(seed),
+		HomeCrash(seed),
 		CopyThroughput(seed),
 		ClusterLoad(seed),
 		MigrationPolicies(seed),
@@ -123,6 +124,7 @@ func ByName(name string) (func(int64) *Result, bool) {
 		"precopy-rounds":    PrecopyRounds,
 		"fault-sweep":       FaultSweep,
 		"guest-crash":       GuestCrash,
+		"home-crash":        HomeCrash,
 		"copy-throughput":   CopyThroughput,
 		"cluster-load":      ClusterLoad,
 		"migration-policy":  MigrationPolicies,
@@ -138,7 +140,7 @@ func Names() []string {
 		"comm-paths", "comm-migration", "vmpaging", "ablation-freeze",
 		"ablation-residual", "usage", "selection-scale", "select-policy",
 		"migration-loss", "precopy-rounds", "fault-sweep", "guest-crash",
-		"copy-throughput", "cluster-load", "migration-policy",
+		"home-crash", "copy-throughput", "cluster-load", "migration-policy",
 	}
 }
 

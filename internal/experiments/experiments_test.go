@@ -31,6 +31,7 @@ func TestA4MigrationUnderLoss(t *testing.T)   { runExp(t, MigrationUnderLoss) }
 func TestA5PrecopyRounds(t *testing.T)        { runExp(t, PrecopyRounds) }
 func TestF1FaultSweep(t *testing.T)           { runExp(t, FaultSweep) }
 func TestF2GuestCrash(t *testing.T)           { runExp(t, GuestCrash) }
+func TestF3HomeCrash(t *testing.T)            { runExp(t, HomeCrash) }
 
 // E11 runs in the suite on a 150-host grid: big enough to cover the
 // >127-host LHID-station region (where the 8-bit station layout used to

@@ -128,6 +128,45 @@ func (inj *Injector) RestartAfter(d time.Duration, mac ethernet.MAC) {
 	inj.eng.After(d, func() { inj.Restart(mac) })
 }
 
+// CrashOnEvent arms a one-shot crash keyed to protocol state rather than
+// wall time: the first trace event matching the predicate selects a victim
+// (through the supplied function, which may inspect live state) and kills
+// it. The crash is deferred through the engine so it lands between events,
+// never re-entrantly inside the publisher's own critical section. A nil
+// victim MAC (0) cancels the shot without consuming it.
+func (inj *Injector) CrashOnEvent(match func(trace.Event) bool, victim func() ethernet.MAC) {
+	fired := false
+	inj.tb.Subscribe(func(ev trace.Event) {
+		if fired || !match(ev) {
+			return
+		}
+		mac := victim()
+		if mac == 0 {
+			return
+		}
+		fired = true
+		inj.eng.After(0, func() { inj.Crash(mac) })
+	})
+}
+
+// PartitionOnEvent arms a one-shot partition the same way: the first
+// matching trace event computes the two host sets and cuts the segment
+// between them. Empty sets cancel the shot without consuming it.
+func (inj *Injector) PartitionOnEvent(match func(trace.Event) bool, sets func() (a, b []ethernet.MAC)) {
+	fired := false
+	inj.tb.Subscribe(func(ev trace.Event) {
+		if fired || !match(ev) {
+			return
+		}
+		a, b := sets()
+		if len(a) == 0 || len(b) == 0 {
+			return
+		}
+		fired = true
+		inj.eng.After(0, func() { inj.Partition(a, b) })
+	})
+}
+
 // Partition severs the segment between the two host sets: no frame whose
 // source is in one set reaches a receiver in the other (either direction).
 // Hosts within a set, and hosts in neither set, are unaffected. Multiple

@@ -13,8 +13,11 @@ import (
 	"sort"
 	"time"
 
+	"vsystem/internal/ipc"
 	"vsystem/internal/kernel"
+	"vsystem/internal/mem"
 	"vsystem/internal/params"
+	"vsystem/internal/rsm"
 	"vsystem/internal/vid"
 )
 
@@ -45,6 +48,7 @@ type Server struct {
 	proc  *kernel.Process
 	files map[string][]byte
 	pages map[string][]byte
+	rep   *rsm.Replica // nil when the server runs unreplicated
 }
 
 // Start spawns a file server on a host (typically a dedicated server
@@ -83,6 +87,13 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 	for {
 		req := ctx.Receive()
 		m := req.Msg
+		// Replicated servers answer only when their copy is authoritative:
+		// writes need the fenced leader, reads a leader or caught-up
+		// follower. Everyone else deflects (redirect or group silence).
+		if !s.canServe(ctx.Now(), m.Op) {
+			s.deflect(ctx, req)
+			continue
+		}
 		switch m.Op {
 		case OpStat:
 			data, ok := s.files[m.SegString()]
@@ -91,10 +102,12 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 				continue
 			}
 			ctx.Compute(params.FileServerBlockCPU)
-			// W5 identifies the server, so clients that found it through
-			// the file-server group can address it directly afterwards.
+			// W5 identifies the answering server, so clients that found it
+			// through the file-server group can address it directly
+			// afterwards; W4 carries the write leader as this replica knows
+			// it, so read-pinned clients learn where mutations go.
 			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{
-				uint32(len(data)), 0, 0, 0, 0, uint32(s.proc.PID()),
+				uint32(len(data)), 0, 0, 0, uint32(s.LeaderSvc()), uint32(s.proc.PID()),
 			}})
 
 		case OpRead:
@@ -122,18 +135,33 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
 				continue
 			}
-			off := int(m.W[0])
-			f := s.files[name]
-			if need := off + len(payload); need > len(f) {
-				f = append(f, make([]byte, need-len(f))...)
+			var size int
+			if s.rep != nil {
+				res, err := s.commitWrite(ctx, OpWrite, m.W[0], m.Seg)
+				if err != nil {
+					s.replyCommitErr(ctx, req, err)
+					continue
+				}
+				if len(res) < 4 {
+					ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+					continue
+				}
+				size = int(leUint32(res))
+			} else {
+				size = s.applyWrite(name, int(m.W[0]), payload)
 			}
-			copy(f[off:], payload)
-			s.files[name] = f
 			ctx.Compute(blockCost(len(payload)))
-			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{uint32(len(f))}})
+			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{uint32(size)}})
 
 		case OpRemove:
-			delete(s.files, m.SegString())
+			if s.rep != nil {
+				if _, err := s.commitWrite(ctx, OpRemove, 0, m.Seg); err != nil {
+					s.replyCommitErr(ctx, req, err)
+					continue
+				}
+			} else {
+				delete(s.files, m.SegString())
+			}
 			ctx.Reply(req, vid.Message{Op: m.Op})
 
 		case OpPageOut:
@@ -142,7 +170,14 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
 				continue
 			}
-			s.pages[key] = append([]byte(nil), payload...)
+			if s.rep != nil {
+				if _, err := s.commitWrite(ctx, OpPageOut, 0, m.Seg); err != nil {
+					s.replyCommitErr(ctx, req, err)
+					continue
+				}
+			} else {
+				s.pages[key] = append([]byte(nil), payload...)
+			}
 			ctx.Compute(blockCost(len(payload)))
 			ctx.Reply(req, vid.Message{Op: m.Op})
 
@@ -157,11 +192,19 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
 				continue
 			}
+			if s.rep != nil {
+				// A full run exceeds the log's command budget: commit it as
+				// ordered sub-run commands (keyed stores keep this idempotent).
+				if err := s.submitRun(ctx, prefix, spaceID, pages, data); err != nil {
+					s.replyCommitErr(ctx, req, err)
+					continue
+				}
+			} else {
+				s.applyRun(prefix, spaceID, pages, data)
+			}
 			n := 0
-			for i, pn := range pages {
-				key := fmt.Sprintf("%s/%d/%d", prefix, spaceID, pn)
-				s.pages[key] = append([]byte(nil), data[i]...)
-				n += len(data[i])
+			for _, d := range data {
+				n += len(d)
 			}
 			ctx.Compute(blockCost(n))
 			ctx.Reply(req, vid.Message{Op: m.Op})
@@ -192,6 +235,41 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 			ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
 		}
 	}
+}
+
+// applyWrite mutates the file store and returns the file's new size. It is
+// the one OpWrite mutation path, shared by the unreplicated server and the
+// replicated state machine's Apply.
+func (s *Server) applyWrite(name string, off int, payload []byte) int {
+	f := s.files[name]
+	if need := off + len(payload); need > len(f) {
+		f = append(f, make([]byte, need-len(f))...)
+	}
+	copy(f[off:], payload)
+	s.files[name] = f
+	return len(f)
+}
+
+// applyRun stores a decoded page run under "prefix/space/pageno" keys.
+func (s *Server) applyRun(prefix string, spaceID uint32, pages []mem.PageNo, data [][]byte) {
+	for i, pn := range pages {
+		key := fmt.Sprintf("%s/%d/%d", prefix, spaceID, pn)
+		s.pages[key] = append([]byte(nil), data[i]...)
+	}
+}
+
+// replyCommitErr maps a failed log commit to a wire reply: lost leadership
+// deflects (the client retries against the group), anything else times out.
+func (s *Server) replyCommitErr(ctx *kernel.ProcCtx, req *ipc.Req, err error) {
+	if err == rsm.ErrNotLeader {
+		s.deflect(ctx, req)
+		return
+	}
+	ctx.Reply(req, vid.ErrMsg(vid.CodeTimeout))
+}
+
+func leUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // splitNameData separates "name\x00data" segments.

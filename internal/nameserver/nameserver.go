@@ -17,6 +17,7 @@ import (
 
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
+	"vsystem/internal/rsm"
 	"vsystem/internal/vid"
 )
 
@@ -36,6 +37,7 @@ const (
 type Server struct {
 	proc  *kernel.Process
 	names map[string]vid.PID
+	rep   *rsm.Replica // nil when the server runs unreplicated
 }
 
 // Start spawns a name server on a host and joins the name-server group.
@@ -62,6 +64,13 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 	for {
 		req := ctx.Receive()
 		m := req.Msg
+		// Replicated name servers answer only from an authoritative copy;
+		// name-service requests are always group-addressed, so a replica
+		// that cannot serve simply stays silent.
+		if !s.canServe(ctx.Now(), m.Op) {
+			s.proc.Port().Drop(req)
+			continue
+		}
 		ctx.Compute(params.KernelOpCPU)
 		switch m.Op {
 		case NsRegister:
@@ -70,7 +79,14 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
 				continue
 			}
-			s.names[name] = vid.PID(m.W[0])
+			if s.rep != nil {
+				if _, err := s.rep.Submit(ctx, encodeNsCmd(m.Op, vid.PID(m.W[0]), name)); err != nil {
+					ctx.Reply(req, vid.ErrMsg(vid.CodeTimeout))
+					continue
+				}
+			} else {
+				s.names[name] = vid.PID(m.W[0])
+			}
 			ctx.Reply(req, vid.Message{Op: m.Op})
 		case NsLookup:
 			pid, ok := s.names[m.SegString()]
@@ -80,7 +96,14 @@ func (s *Server) run(ctx *kernel.ProcCtx) {
 			}
 			ctx.Reply(req, vid.Message{Op: m.Op, W: [6]uint32{uint32(pid)}})
 		case NsUnregister:
-			delete(s.names, m.SegString())
+			if s.rep != nil {
+				if _, err := s.rep.Submit(ctx, encodeNsCmd(m.Op, vid.Nil, m.SegString())); err != nil {
+					ctx.Reply(req, vid.ErrMsg(vid.CodeTimeout))
+					continue
+				}
+			} else {
+				delete(s.names, m.SegString())
+			}
 			ctx.Reply(req, vid.Message{Op: m.Op})
 		case NsList:
 			names := make([]string, 0, len(s.names))
@@ -133,10 +156,17 @@ func RegisterSelfAt(h *kernel.Host, name string, pid vid.PID, delay time.Duratio
 	})
 }
 
-// Lookup resolves a name through the name-server group (one blocking
-// query; callers keep their own caches).
+// Lookup resolves a name through the name-server group with one bounded
+// retry: the first query can land while the server that held the binding
+// is dead or a replica group is mid-election, and a single follow-up send
+// reaches whichever replica has (re)gained authority. Not-found is a
+// definitive answer and is not retried.
 func Lookup(ctx *kernel.ProcCtx, name string) (vid.PID, error) {
-	m, err := ctx.Send(vid.GroupNameServers, vid.Message{Op: NsLookup, Seg: []byte(name)})
+	q := vid.Message{Op: NsLookup, Seg: []byte(name)}
+	m, err := ctx.Send(vid.GroupNameServers, q)
+	if err != nil || (!m.OK() && m.Code != vid.CodeNotFound) {
+		m, err = ctx.Send(vid.GroupNameServers, q)
+	}
 	if err != nil {
 		return vid.Nil, err
 	}

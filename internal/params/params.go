@@ -388,6 +388,91 @@ const (
 	ReceptacleTTL = 30 * time.Second
 )
 
+// ------------------------------------------------------------- replication
+//
+// The replicated-state-machine layer (internal/rsm) that backs the home
+// program-manager group and the replicated file/name servers. Timeouts are
+// sized against the ipc substrate: a heartbeat is a unicast transaction
+// that survives one 200 ms retransmission under loss, so the election
+// timeout must exceed a couple of worst-case heartbeat gaps or 5 % frame
+// loss triggers spurious elections.
+
+const (
+	// RsmReplicas is the default replica-set size of a consensus-backed
+	// home service (PM group, file server, name server).
+	RsmReplicas = 3
+
+	// RsmHeartbeatInterval is the leader's empty-append period per
+	// follower; it doubles as the replication workers' retry pacing.
+	RsmHeartbeatInterval = 150 * time.Millisecond
+
+	// RsmElectionTimeoutMin is the minimum leader-silence window before a
+	// replica campaigns. Several heartbeat periods plus retransmission
+	// slack, so one lost heartbeat frame never forces an election.
+	RsmElectionTimeoutMin = 800 * time.Millisecond
+
+	// RsmElectionTimeoutSpread is the width of the randomized addition to
+	// the election timeout. The draw is a deterministic hash of (station,
+	// term), so timeouts stagger differently every term — the classic
+	// split-vote breaker — while staying seed-reproducible.
+	RsmElectionTimeoutSpread = 400 * time.Millisecond
+
+	// RsmGatherWindow bounds the multicast vote (and rejoin-hello) gather:
+	// long enough to catch one retransmission of the request, short
+	// against the election timeout.
+	RsmGatherWindow = 250 * time.Millisecond
+
+	// RsmBatchEntries caps the log entries carried by one append; larger
+	// backlogs switch the replication worker to the windowed catch-up
+	// pipeline.
+	RsmBatchEntries = 16
+
+	// RsmBatchBytes caps the command bytes in one append batch so the
+	// encoded request stays within a single message segment.
+	RsmBatchBytes = 24 * 1024
+
+	// RsmSnapshotEntries is the applied-log length that triggers
+	// compaction into a state-machine snapshot.
+	RsmSnapshotEntries = 64
+
+	// RsmSnapChunkBytes is the payload size of one snapshot catch-up
+	// chunk (must stay well under vid.SegMax with its header).
+	RsmSnapChunkBytes = 16 * 1024
+
+	// RsmMaxCmd bounds one replicated command so an append carrying it
+	// plus framing still fits a single message segment.
+	RsmMaxCmd = 24 * 1024
+
+	// RsmSubmitTimeout bounds how long a Submit waits for its entry to
+	// commit. A leader cut off from the majority (a stale minority
+	// leader) hits this instead of blocking forever — the fence that
+	// keeps it from acting on uncommitted intents.
+	RsmSubmitTimeout = 3 * time.Second
+
+	// RsmSyncWindow is how recently a follower must have heard from the
+	// leader (and be applied up to the leader's commit index) to answer
+	// reads; beyond it the follower stays silent and reads fall to the
+	// leader.
+	RsmSyncWindow = 3 * RsmHeartbeatInterval
+
+	// RsmStickyLeader is how recently a replica must have heard from a
+	// live leader to deny pre-vote probes. It is deliberately shorter than
+	// RsmElectionTimeoutMin by two heartbeats: a follower whose own
+	// election deadline just fired has necessarily gone at least
+	// (timeout - one peer-skew heartbeat) without leader contact, so its
+	// first pre-vote round is granted, while a healthy leader heartbeating
+	// every RsmHeartbeatInterval keeps every follower inside the window
+	// and disruptors fenced out.
+	RsmStickyLeader = RsmElectionTimeoutMin - 2*RsmHeartbeatInterval
+
+	// RsmFailoverBudget is the asserted bound on leader failover: crash →
+	// election timeout (min+spread) → pre-vote gather → vote gather →
+	// barrier commit, plus queueing slack. The F3 experiment holds every
+	// observed failover under this.
+	RsmFailoverBudget = RsmElectionTimeoutMin + RsmElectionTimeoutSpread +
+		3*RsmGatherWindow + 550*time.Millisecond
+)
+
 // WireTime returns the transmission time of a frame with n payload bytes on
 // the shared Ethernet.
 func WireTime(n int) time.Duration {

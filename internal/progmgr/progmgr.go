@@ -25,6 +25,7 @@ import (
 	"vsystem/internal/ipc"
 	"vsystem/internal/kernel"
 	"vsystem/internal/params"
+	"vsystem/internal/rsm"
 	"vsystem/internal/sched"
 	"vsystem/internal/sim"
 	"vsystem/internal/trace"
@@ -196,6 +197,7 @@ type PM struct {
 	reapQ    []*reapJob            // remote programs to destroy, with retry
 	sup      SupStats
 	lease    *kernel.Process
+	home     *rsm.Replica // home-group replica; nil when unreplicated
 
 	fsPID vid.PID // cached file-server pid
 }
@@ -541,6 +543,13 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 			ctx.Reply(req, pm.createProgram(ctx, m))
 
 		case PmWaitProgram:
+			if m.W[5]&PmWaitHome != 0 && !pm.homeLeading() {
+				// Home-group wait: only the current leader answers or holds
+				// the waiter; every other member stays silent so the agent's
+				// group send lands on exactly one authority.
+				port.Drop(req)
+				continue
+			}
 			lhid := vid.LHID(m.W[0])
 			if pi := pm.progs[lhid]; pi != nil && !pi.incoming {
 				pi.waiters = append(pi.waiters, req)
@@ -597,6 +606,40 @@ func (pm *PM) run(ctx *kernel.ProcCtx) {
 				continue
 			}
 			ctx.Reply(req, vid.ErrMsg(vid.CodeNotFound))
+
+		case PmSupervise:
+			// Register a session with the home group (group-addressed): the
+			// leader commits the record and answers; followers stay silent.
+			if pm.home == nil || !pm.home.IsLeader() {
+				port.Drop(req)
+				continue
+			}
+			si, err := DecodeSessionInfo(m.Seg)
+			if err != nil {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeBadRequest))
+				continue
+			}
+			if pm.homeCommit(ctx, &hgCmd{Kind: hgSupervise, Sess: si, At: int64(ctx.Now())}) != nil {
+				ctx.Reply(req, vid.ErrMsg(vid.CodeTimeout))
+				continue
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op})
+
+		case PmNoteExited:
+			// The agent's Wait saw the exit; commit it so no replica keeps
+			// renewing the dead session after a fail-over.
+			if pm.home == nil || !pm.home.IsLeader() {
+				port.Drop(req)
+				continue
+			}
+			if s := pm.sessionFor(vid.LHID(m.W[0])); s != nil &&
+				s.state != sessionDone && s.state != sessionFailed {
+				if pm.homeCommit(ctx, &hgCmd{Kind: hgDone, Orig: s.orig, Code: m.W[1]}) != nil {
+					ctx.Reply(req, vid.ErrMsg(vid.CodeTimeout))
+					continue
+				}
+			}
+			ctx.Reply(req, vid.Message{Op: m.Op})
 
 		case PmLocateProgram:
 			if pi := pm.progs[vid.LHID(m.W[0])]; pi != nil && !pi.incoming {
@@ -749,13 +792,28 @@ func (pm *PM) createProgram(ctx *kernel.ProcCtx, m vid.Message) vid.Message {
 }
 
 // loadFile fetches a file from a network file server in 32 KB reads.
+// Reads pin the replica that answered the stat; if that server dies or
+// loses authority mid-load, the loop re-resolves once through the
+// file-server group and resumes the same chunk — an image load survives a
+// file-server crash instead of aborting the execution request.
 func (pm *PM) loadFile(ctx *kernel.ProcCtx, name string) ([]byte, vid.PID, error) {
 	fs := pm.fsPID
-	st, err := ctx.Send(orGroup(fs), vid.Message{Op: fsOpStat, Seg: []byte(name)})
+	st, err := ctx.Send(orGroup(fs), vid.Message{
+		Op: fsOpStat, W: [6]uint32{0, 0, 0, 0, 0, unicastFlag(fs)}, Seg: []byte(name),
+	})
 	if err != nil || !st.OK() {
-		// Retry once through the group in case a cached server died.
+		// Retry through the group in case a cached server died. A replicated
+		// store can also be leaderless mid-election (every replica silent),
+		// so silence and transport errors get a few spaced attempts; a
+		// definitive reply (e.g. no such file) is never retried.
 		pm.fsPID = vid.Nil
-		st, err = ctx.Send(vid.GroupFileServers, vid.Message{Op: fsOpStat, Seg: []byte(name)})
+		for attempt := 0; ; attempt++ {
+			st, err = ctx.Send(vid.GroupFileServers, vid.Message{Op: fsOpStat, Seg: []byte(name)})
+			if err == nil || attempt == 2 {
+				break
+			}
+			ctx.Sleep(500 * time.Millisecond)
+		}
 		if err != nil || !st.OK() {
 			return nil, vid.Nil, fsError(st, err)
 		}
@@ -770,11 +828,26 @@ func (pm *PM) loadFile(ctx *kernel.ProcCtx, name string) ([]byte, vid.PID, error
 		if n > vid.SegMax {
 			n = vid.SegMax
 		}
-		r, err := ctx.Send(pm.fsPID, vid.Message{
-			Op: fsOpRead, W: [6]uint32{uint32(off), uint32(n)}, Seg: []byte(name),
-		})
+		read := vid.Message{
+			Op: fsOpRead, W: [6]uint32{uint32(off), uint32(n), 0, 0, 0, fsUnicast},
+			Seg: []byte(name),
+		}
+		r, err := ctx.Send(pm.fsPID, read)
 		if err != nil || !r.OK() {
-			return nil, vid.Nil, fsError(r, err)
+			// Pinned server gone mid-read: re-stat through the group to find
+			// a live authoritative replica, then retry this chunk once.
+			pm.fsPID = vid.Nil
+			st, err2 := ctx.Send(vid.GroupFileServers, vid.Message{Op: fsOpStat, Seg: []byte(name)})
+			if err2 != nil || !st.OK() {
+				return nil, vid.Nil, fsError(r, err)
+			}
+			if pid := vid.PID(st.W[5]); pid != vid.Nil {
+				pm.fsPID = pid
+			}
+			read.W[5] = unicastFlag(pm.fsPID)
+			if r, err = ctx.Send(orGroup(pm.fsPID), read); err != nil || !r.OK() {
+				return nil, vid.Nil, fsError(r, err)
+			}
 		}
 		out = append(out, r.Seg...)
 	}
@@ -840,7 +913,21 @@ func orGroup(pid vid.PID) vid.PID {
 const (
 	fsOpStat uint16 = 0x50
 	fsOpRead uint16 = 0x51
+
+	// fsUnicast in a request's W5 tells a replicated file server the sender
+	// addressed it directly, so a non-authoritative replica must answer
+	// CodeNotLeader instead of staying silent (fileserver.FsUnicast).
+	fsUnicast uint32 = 1
 )
+
+// unicastFlag returns the W5 unicast marker when pid names one server (as
+// opposed to the file-server group).
+func unicastFlag(pid vid.PID) uint32 {
+	if pid == vid.Nil {
+		return 0
+	}
+	return fsUnicast
+}
 
 // initMigration is the receiving side of §3.1.1: allocate a placeholder
 // logical host under a different id, create its address spaces, freeze it,
@@ -1130,14 +1217,22 @@ type SessionInfo struct {
 }
 
 // Supervise registers a remote job for lease supervision. Called by the
-// originating agent (same host) right after the program starts.
+// originating agent (same host) right after the program starts; with a
+// home group the agent sends PmSupervise instead so the record lands in
+// the replicated registry.
 func (pm *PM) Supervise(si SessionInfo) {
+	pm.registerSession(si, pm.host.Eng.Now())
+}
+
+// registerSession inserts a session record (direct path and home-group
+// Apply share it so the two stay field-for-field identical).
+func (pm *PM) registerSession(si SessionInfo, at sim.Time) {
 	pm.sessions[si.LHID] = &session{
 		orig: si.LHID, cur: si.LHID, pid: si.PID,
 		name: si.Name, args: si.Args, stdout: si.Stdout, minMem: si.MinMem,
 		hostPM: si.HostPM, hostLH: si.HostLH,
 		incarnation: 1, maxRestarts: si.MaxRestarts,
-		state: sessionActive, lastRenew: pm.host.Eng.Now(),
+		state: sessionActive, lastRenew: at,
 	}
 }
 
@@ -1246,8 +1341,21 @@ func (pm *PM) leaseLoop(ctx *kernel.ProcCtx) {
 			ids = append(ids, id)
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		// With a home group only the fenced leader acts on live sessions; a
+		// follower (or deposed leader) instead points any waiters it holds
+		// back at the group, where the current leader will hold or answer
+		// them. Exit results are served by every replica.
+		leading := pm.homeLeading()
 		for _, id := range ids {
 			s := pm.sessions[id]
+			switch s.state {
+			case sessionActive, sessionBroken:
+				if !leading {
+					pm.flushWaiters(ctx, s, movedReply(PmWaitProgram, s.orig,
+						movedTo{pm: vid.GroupHomePMs, lh: s.cur}))
+					continue
+				}
+			}
 			switch s.state {
 			case sessionActive:
 				if ctx.Now().Sub(s.lastRenew) >= params.LeaseInterval {
@@ -1283,20 +1391,38 @@ func (pm *PM) renew(ctx *kernel.ProcCtx, s *session) {
 	switch {
 	case err == nil && m.Code == CodeMoved:
 		// The hosting manager migrated or re-executed the program away:
-		// follow the forwarding record.
-		s.hostPM = vid.PID(m.W[1])
-		s.hostLH = s.hostPM.LH()
-		if nl := vid.LHID(m.W[2]); nl != 0 && nl != s.cur {
-			pm.rebindSession(s, nl)
+		// follow the forwarding record. A topology change must survive a
+		// home fail-over, so a replicated registry commits it.
+		hostPM := vid.PID(m.W[1])
+		if pm.home != nil {
+			if pm.homeCommit(ctx, &hgCmd{
+				Kind: hgRenewed, Orig: s.orig, At: int64(ctx.Now()),
+				HostPM: uint32(hostPM), HostLH: uint32(hostPM.LH()), NewLH: m.W[2],
+			}) != nil {
+				return // lost the majority; the next leader follows the move
+			}
+		} else {
+			s.hostPM = hostPM
+			s.hostLH = hostPM.LH()
+			if nl := vid.LHID(m.W[2]); nl != 0 && nl != s.cur {
+				pm.rebindSession(s, nl)
+			}
+			s.lastRenew = ctx.Now()
 		}
-		s.lastRenew = ctx.Now()
 		pm.sup.LeaseRenews++
 	case err == nil && m.OK() && m.W[1] == 1:
+		// Plain renewal: leader-local only. A follower promoted later sees
+		// a stale lastRenew and simply renews immediately — cheaper than a
+		// log entry per heartbeat.
 		s.lastRenew = ctx.Now()
 		pm.sup.LeaseRenews++
 	case err == nil && m.OK() && m.W[1] == 2:
-		s.state = sessionDone
-		s.exitCode = m.W[2]
+		if pm.home != nil {
+			pm.homeCommit(ctx, &hgCmd{Kind: hgDone, Orig: s.orig, Code: m.W[2]})
+		} else {
+			s.state = sessionDone
+			s.exitCode = m.W[2]
+		}
 	default:
 		// Transport failure (timeout or host-down) or not-found: the
 		// lease is lost and the session is broken.
@@ -1318,8 +1444,14 @@ func (pm *PM) rebindSession(s *session, newLH vid.LHID) {
 // counter (detector-prompted breaks go through NoteHostDown instead and
 // publish nothing — the detector already did).
 func (pm *PM) expireLease(ctx *kernel.ProcCtx, s *session) {
-	s.state = sessionBroken
-	s.nextRetry = ctx.Now()
+	if pm.home != nil {
+		if pm.homeCommit(ctx, &hgCmd{Kind: hgBreak, Orig: s.orig, At: int64(ctx.Now())}) != nil {
+			return // deposed; the next leader re-detects the loss itself
+		}
+	} else {
+		s.state = sessionBroken
+		s.nextRetry = ctx.Now()
+	}
 	pm.sup.LeaseExpires++
 	pm.host.Trace().Publish(trace.Event{
 		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvLeaseExpire,
@@ -1343,10 +1475,19 @@ func (pm *PM) recover(ctx *kernel.ProcCtx, s *session) {
 	if err == nil && m.OK() {
 		// Still running — the host was falsely suspected, or the program
 		// moved and the forwarding record died with its manager.
-		s.hostLH = vid.LHID(m.W[0])
-		s.hostPM = vid.PID(m.W[5])
-		s.state = sessionActive
-		s.lastRenew = ctx.Now()
+		if pm.home != nil {
+			if pm.homeCommit(ctx, &hgCmd{
+				Kind: hgRenewed, Orig: s.orig, At: int64(ctx.Now()),
+				HostPM: m.W[5], HostLH: m.W[0],
+			}) != nil {
+				return
+			}
+		} else {
+			s.hostLH = vid.LHID(m.W[0])
+			s.hostPM = vid.PID(m.W[5])
+			s.state = sessionActive
+			s.lastRenew = ctx.Now()
+		}
 		pm.flushWaiters(ctx, s, movedReply(PmWaitProgram, s.orig, movedTo{pm: s.hostPM, lh: s.cur}))
 		return
 	}
@@ -1355,14 +1496,30 @@ func (pm *PM) recover(ctx *kernel.ProcCtx, s *session) {
 		pm.failSession(ctx, s)
 		return
 	}
-	s.restarts++
+	// Commit the restart intent BEFORE creating anything: this is the
+	// fence that makes a stale minority leader harmless. It cannot reach a
+	// majority, so its Submit times out here and no second incarnation is
+	// ever started — the locate query above plus this committed intent
+	// together uphold the double-execution guard across views.
+	if pm.home != nil {
+		if pm.homeCommit(ctx, &hgCmd{Kind: hgIntent, Orig: s.orig, Attempt: s.restarts + 1}) != nil {
+			return
+		}
+	} else {
+		s.restarts++
+	}
 	if !pm.reexecSession(ctx, s) {
 		if s.restarts >= s.maxRestarts {
 			pm.failSession(ctx, s)
 			return
 		}
 		// Exponential backoff before the next attempt.
-		s.nextRetry = ctx.Now().Add(params.ExecRestartBackoff << (s.restarts - 1))
+		backoff := ctx.Now().Add(params.ExecRestartBackoff << (s.restarts - 1))
+		if pm.home != nil {
+			pm.homeCommit(ctx, &hgCmd{Kind: hgRetryAt, Orig: s.orig, At: int64(backoff)})
+		} else {
+			s.nextRetry = backoff
+		}
 	}
 }
 
@@ -1399,14 +1556,33 @@ func (pm *PM) reexecSession(ctx *kernel.ProcCtx, s *session) bool {
 		}
 		return false
 	}
-	if newLH != s.orig {
-		pm.alias[newLH] = s.orig
+	if pm.home != nil {
+		if pm.homeCommit(ctx, &hgCmd{
+			Kind: hgRebind, Orig: s.orig, At: int64(ctx.Now()),
+			NewLH: uint32(newLH), NewPID: uint32(newPID),
+			HostPM: uint32(l.PM), HostLH: uint32(l.SystemLH),
+		}) != nil {
+			// Deposed between start and commit: this incarnation is not in
+			// the replicated registry, so destroy it best-effort. Should the
+			// destroy also fail, the orphan is bounded by maxRestarts and
+			// the display's adoption counts keep user output exactly-once.
+			if _, e := ctx.Send(l.PM, vid.Message{
+				Op: PmDestroyProgram, W: [6]uint32{uint32(newLH)},
+			}); e != nil {
+				pm.ReapRemote(l.PM, newLH)
+			}
+			return false
+		}
+	} else {
+		if newLH != s.orig {
+			pm.alias[newLH] = s.orig
+		}
+		s.cur, s.pid = newLH, newPID
+		s.hostPM, s.hostLH = l.PM, l.SystemLH
+		s.incarnation++
+		s.state = sessionActive
+		s.lastRenew = ctx.Now()
 	}
-	s.cur, s.pid = newLH, newPID
-	s.hostPM, s.hostLH = l.PM, l.SystemLH
-	s.incarnation++
-	s.state = sessionActive
-	s.lastRenew = ctx.Now()
 	pm.sup.ExecRestarts++
 	pm.host.Trace().Publish(trace.Event{
 		At: ctx.Now(), Host: uint16(pm.host.NIC.MAC()), Kind: trace.EvExecRestart,
@@ -1419,7 +1595,13 @@ func (pm *PM) reexecSession(ctx *kernel.ProcCtx, s *session) bool {
 // failSession gives up on a session: waiters see an abort and the user
 // gets a notification line.
 func (pm *PM) failSession(ctx *kernel.ProcCtx, s *session) {
-	s.state = sessionFailed
+	if pm.home != nil {
+		if pm.homeCommit(ctx, &hgCmd{Kind: hgFailed, Orig: s.orig}) != nil {
+			return // deposed; the next leader decides the session's fate
+		}
+	} else {
+		s.state = sessionFailed
+	}
 	pm.flushWaiters(ctx, s, vid.Message{Op: PmWaitProgram, Code: vid.CodeAborted})
 	if s.stdout != vid.Nil {
 		ctx.Send(s.stdout, vid.Message{Op: vvm.OpWriteLine, Seg: []byte(

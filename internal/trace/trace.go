@@ -133,6 +133,24 @@ const (
 	// must in aggregate equal the count of these events; tests hold the
 	// two to parity.
 	EvRemoteFault
+	// EvElect: a replica of a consensus-backed service won an election
+	// and became leader (LH the replica group's id, Prio the term, Size
+	// the replica id). Each replica's rsm Stats.Elections counter must
+	// equal the count of these events it published; tests hold the two to
+	// parity.
+	EvElect
+	// EvCommit: a replica's commit index advanced (LH the replica group's
+	// id, Size the number of newly committed entries, Prio the term).
+	// Published by every replica — leaders on majority match, followers on
+	// learning the leader's commit index — so the cluster-wide count is
+	// the sum of per-replica Stats.Commits; parity-tested.
+	EvCommit
+	// EvFailover: a newly elected leader displaced a previously known,
+	// different leader — a real failover rather than the boot election
+	// (LH the replica group's id, Prio the term, Size the new leader's
+	// replica id, Peer the old leader's replica id). Parity-tested
+	// against Stats.Failovers.
+	EvFailover
 
 	numKinds
 )
@@ -144,7 +162,7 @@ var kindNames = [numKinds]string{
 	"partition", "heal", "mig-fault", "bind-hit", "bind-miss",
 	"bind-invalidate", "select-query", "select-candidate", "select-choice",
 	"host-suspect", "host-clear", "lease-expire", "exec-restart",
-	"copy-window", "remote-fault",
+	"copy-window", "remote-fault", "elect", "commit", "failover",
 }
 
 func (k Kind) String() string {

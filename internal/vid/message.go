@@ -47,6 +47,10 @@ const (
 	// per-host failure detector; the transaction was failed fast instead
 	// of riding out the full retransmission allowance.
 	CodeHostDown
+	// CodeNotLeader: the destination is a replica of a consensus-backed
+	// service but not its current leader; the reply's hint word (per
+	// protocol) carries the leader's PID when known.
+	CodeNotLeader
 )
 
 func codeName(c uint16) string {
@@ -71,6 +75,8 @@ func codeName(c uint16) string {
 		return "aborted"
 	case CodeHostDown:
 		return "host-down"
+	case CodeNotLeader:
+		return "not-leader"
 	default:
 		return fmt.Sprintf("code%d", c)
 	}

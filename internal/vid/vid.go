@@ -115,4 +115,18 @@ var (
 	GroupFileServers = NewPID(GroupBit|2, 1)
 	// GroupNameServers is the group answering symbolic-name queries.
 	GroupNameServers = NewPID(GroupBit|3, 1)
+	// GroupHomePMs is the client-facing group of the consensus-backed
+	// home program-manager replicas; supervised-session traffic that
+	// would target a single home PM targets this group instead, and only
+	// the current leader answers.
+	GroupHomePMs = NewPID(GroupBit|4, 1)
+	// GroupHomeRSM carries the home PM group's replication traffic
+	// (votes, appends, snapshots).
+	GroupHomeRSM = NewPID(GroupBit|5, 1)
+	// GroupFSRSM carries the replicated file server's replication
+	// traffic.
+	GroupFSRSM = NewPID(GroupBit|6, 1)
+	// GroupNSRSM carries the replicated name server's replication
+	// traffic.
+	GroupNSRSM = NewPID(GroupBit|7, 1)
 )
