@@ -206,8 +206,19 @@ func (a *Agent) superviseSession(si *progmgr.SessionInfo) {
 			// a member just died); give it a beat and re-ask.
 			a.Sleep(300 * time.Millisecond)
 		}
-		// Group unreachable (mid-election or partitioned away): fall back to
-		// local supervision so the job is watched by *someone*.
+		if a.node.PM.HomeReplica() != nil {
+			// This workstation is itself a group member, so a direct local
+			// Supervise would mutate the replicated registry outside the log:
+			// the session would exist on one replica only, get baked into its
+			// snapshots, and never be lease-renewed (only the fenced leader
+			// acts). Park the record instead; the lease worker re-proposes it
+			// through the group once a leader is reachable.
+			a.node.PM.QueueHomeSupervise(*si)
+			return
+		}
+		// Group unreachable (mid-election or partitioned away) and this
+		// manager is not a member: plain local supervision is safe here and
+		// keeps the job watched by *someone*.
 	}
 	a.node.PM.Supervise(*si)
 }

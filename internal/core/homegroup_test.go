@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"vsystem/internal/ethernet"
 	"vsystem/internal/params"
 	"vsystem/internal/progs"
 	"vsystem/internal/sim"
@@ -120,6 +121,65 @@ func TestWaitSurvivesHomeFailoverMidWait(t *testing.T) {
 		t.Fatalf("exit = %d", code)
 	}
 	assertGapless(t, c.Node(3).Display.Lines(), 300)
+}
+
+// A group member whose agent cannot reach the home group (partitioned away
+// mid-registration) must NOT fall back to a direct local Supervise: that
+// would write the session into the replicated registry outside the log —
+// present on one follower only, never lease-renewed (only the fenced
+// leader acts), and baked into that replica's snapshots. Instead the
+// record is queued and re-proposed through the group once it is reachable,
+// after which the session is genuinely supervised: killing the hosting
+// workstation must still trigger a leader-driven re-execution.
+func TestMemberAgentPartitionedFromGroupQueuesSupervision(t *testing.T) {
+	c := boot(t, Options{Workstations: 6, Seed: 1, ReplicateHome: 3})
+	c.Install(progs.Ticker(300))
+
+	// Cut member 0 (the agent's workstation) off from the other two group
+	// members. Members 1 and 2 still form a majority and elect a leader;
+	// node 0 keeps full connectivity to the file servers and to ws4, so the
+	// exec itself succeeds — only the Supervise registration cannot land.
+	mac0 := c.Node(0).Host.NIC.MAC()
+	mac1 := c.Node(1).Host.NIC.MAC()
+	mac2 := c.Node(2).Host.NIC.MAC()
+	c.Bus.SetCut(func(src, dst ethernet.MAC) bool {
+		return (src == mac0 && (dst == mac1 || dst == mac2)) ||
+			(dst == mac0 && (src == mac1 || src == mac2))
+	})
+	// Heal after the agent has exhausted its group retries and queued the
+	// record; the member's lease worker then re-proposes it to the leader.
+	c.Sim.At(c.Sim.Now().Add(8*time.Second), func() { c.Bus.SetCut(nil) })
+	// Kill the hosting workstation after the heal (but before the ticker
+	// can finish): only a session that made it into the replicated
+	// registry gets re-executed.
+	c.Sim.At(c.Sim.Now().Add(10*time.Second), func() { c.Node(4).Host.Crash() })
+
+	var code uint32
+	var err error
+	done := false
+	c.Node(0).Agent(func(a *Agent) {
+		a.Sleep(1 * time.Second)
+		var job *Job
+		if job, err = a.Exec("ticker300", nil, "ws4"); err == nil {
+			code, err = a.Wait(job)
+		}
+		done = true
+	})
+	c.Run(4 * time.Minute)
+
+	if !done {
+		t.Fatal("agent never finished")
+	}
+	if err != nil {
+		t.Fatalf("wait across queued supervision + host crash: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	assertGapless(t, c.Node(0).Display.Lines(), 300)
+	if got := c.Trace.Count(trace.EvExecRestart); got < 1 {
+		t.Fatalf("EvExecRestart = %d, want ≥1 (queued record must reach the leader)", got)
+	}
 }
 
 // Baseline: without a home group the same leader-and-host double kill

@@ -61,6 +61,33 @@ func (pm *PM) HomeReplica() *rsm.Replica { return pm.home }
 // group (trivially true for an unreplicated manager).
 func (pm *PM) homeLeading() bool { return pm.home == nil || pm.home.IsLeader() }
 
+// QueueHomeSupervise parks a Supervise record for later resubmission
+// through the group log. A group member whose agent cannot reach the group
+// (mid-election, partitioned) must use this rather than Supervise: a direct
+// registry write on one replica happens outside the log, so it diverges
+// from the other members, gets baked into that replica's snapshots, and —
+// because only the fenced leader renews leases — is never watched anyway.
+func (pm *PM) QueueHomeSupervise(si SessionInfo) {
+	pm.homePend = append(pm.homePend, si)
+}
+
+// drainHomePend re-proposes parked Supervise records once the group is
+// reachable again. Sent group-addressed (not committed directly) so it
+// works from any member: whoever leads now commits the record, and the
+// hgSupervise Apply dedupes if the agent's own retry got through first.
+func (pm *PM) drainHomePend(ctx *kernel.ProcCtx) {
+	for len(pm.homePend) > 0 {
+		si := pm.homePend[0]
+		m, err := ctx.Send(vid.GroupHomePMs, vid.Message{
+			Op: PmSupervise, Seg: EncodeSessionInfo(&si),
+		})
+		if err != nil || !m.OK() {
+			return // still no leader: keep the queue for the next tick
+		}
+		pm.homePend = pm.homePend[1:]
+	}
+}
+
 // ------------------------------------------------------------- log model
 
 // hgKind enumerates replicated session-registry mutations.

@@ -197,7 +197,8 @@ type PM struct {
 	reapQ    []*reapJob            // remote programs to destroy, with retry
 	sup      SupStats
 	lease    *kernel.Process
-	home     *rsm.Replica // home-group replica; nil when unreplicated
+	home     *rsm.Replica  // home-group replica; nil when unreplicated
+	homePend []SessionInfo // Supervise records awaiting group resubmission
 
 	fsPID vid.PID // cached file-server pid
 }
@@ -1336,6 +1337,9 @@ func (pm *PM) leaseLoop(ctx *kernel.ProcCtx) {
 	for {
 		ctx.Sleep(pollInterval)
 		pm.drainReapQ(ctx)
+		if pm.home != nil {
+			pm.drainHomePend(ctx)
+		}
 		ids := make([]vid.LHID, 0, len(pm.sessions))
 		for id := range pm.sessions {
 			ids = append(ids, id)

@@ -378,8 +378,13 @@ func (r *Replica) resetElectionTimer(now sim.Time) {
 // stepDown adopts a higher term and reverts to follower.
 func (r *Replica) stepDown(term uint32, now sim.Time) {
 	wasLeader := r.role == leader
-	r.st.Term = term
-	r.st.VotedFor = -1
+	// Clear the vote only when adopting a strictly higher term: a same-term
+	// step-down (candidate yielding to the term's elected leader) must keep
+	// VotedFor, or the one-vote-per-term invariant breaks.
+	if term > r.st.Term {
+		r.st.Term = term
+		r.st.VotedFor = -1
+	}
 	r.role = follower
 	r.barrier = 0
 	r.resetElectionTimer(now)
@@ -843,6 +848,14 @@ func (r *Replica) Submit(ctx *kernel.ProcCtx, cmd []byte) ([]byte, error) {
 	}
 	res := r.results[idx]
 	delete(r.results, idx)
+	// Re-validate after the wait: if we were deposed while blocked, a new
+	// leader may have overwritten the uncommitted entry at idx and committed
+	// its own past it — applied>=idx then holds the OTHER entry's result.
+	// Still holding leadership in the proposal term proves the entry at idx
+	// is the one appended above; anything else is not a success.
+	if r.role != leader || r.st.Term != term {
+		return nil, ErrNotLeader
+	}
 	return res, nil
 }
 
@@ -949,7 +962,11 @@ func (r *Replica) handleAppendReply(t *sim.Task, peer int, sentNext, n uint32, m
 func (r *Replica) catchUp(ctx *kernel.ProcCtx, peer int, pid vid.PID, term uint32) {
 	win := r.host.IPC.NewWindow(r.host.SystemLH().ID(), params.CopyWindow)
 	ok := true
+	var replyTerm uint32 // max term seen in replies; >term means we are deposed
 	win.SetOnReply(func(req, rep vid.Message) {
+		if rep.OK() && rep.W[0] > replyTerm {
+			replyTerm = rep.W[0]
+		}
 		if !rep.OK() || rep.W[0] > term || rep.W[1] != 1 {
 			ok = false
 			return
@@ -975,6 +992,12 @@ func (r *Replica) catchUp(ctx *kernel.ProcCtx, peer int, pid vid.PID, term uint3
 	}
 	err := win.Drain(ctx.Task())
 	win.Close()
+	if replyTerm > r.st.Term {
+		// A follower rejected us with a higher term: step down now instead
+		// of re-streaming until a plain append notices the new leader.
+		r.stepDown(replyTerm, ctx.Now())
+		return
+	}
 	if (!ok || err != nil) && r.role == leader {
 		r.nextIndex[peer] = r.matchIndex[peer] + 1 // roll back; stop-and-wait repairs
 	}
@@ -991,7 +1014,11 @@ func (r *Replica) sendSnapshot(ctx *kernel.ProcCtx, peer int, pid vid.PID, term 
 	total := uint32(len(data))
 	win := r.host.IPC.NewWindow(r.host.SystemLH().ID(), params.CopyWindow)
 	ok := true
+	var replyTerm uint32 // max term seen in replies; >term means we are deposed
 	win.SetOnReply(func(_, rep vid.Message) {
+		if rep.OK() && rep.W[0] > replyTerm {
+			replyTerm = rep.W[0]
+		}
 		if !rep.OK() || rep.W[0] > term || rep.W[1] != 1 {
 			ok = false
 		}
@@ -1016,6 +1043,12 @@ func (r *Replica) sendSnapshot(ctx *kernel.ProcCtx, peer int, pid vid.PID, term 
 	}
 	err := win.Drain(ctx.Task())
 	win.Close()
+	if replyTerm > r.st.Term {
+		// A follower rejected the transfer with a higher term: step down now
+		// instead of re-streaming the snapshot at the deposed term.
+		r.stepDown(replyTerm, ctx.Now())
+		return
+	}
 	if !ok || err != nil || r.role != leader || r.st.Term != term {
 		return
 	}

@@ -1,0 +1,118 @@
+package rsm
+
+// White-box tests: interleavings that depend on replica-internal scheduling
+// (a deposal and an applied-index jump landing in one handler call) cannot
+// be staged reliably through the network, so they drive the replica's own
+// state transitions directly.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"vsystem/internal/ethernet"
+	"vsystem/internal/kernel"
+	"vsystem/internal/sim"
+	"vsystem/internal/vid"
+)
+
+type wbSM struct{ applied [][]byte }
+
+func (s *wbSM) Apply(t *sim.Task, cmd []byte) []byte {
+	s.applied = append(s.applied, cmd)
+	return append([]byte("ok:"), cmd...)
+}
+func (s *wbSM) Snapshot() []byte { return nil }
+func (s *wbSM) Restore([]byte)   {}
+
+// TestDeposedSubmitNeverFalselySucceeds reproduces the stale-leader race:
+// a leader proposes an entry that never reaches a majority, is deposed, and
+// the new leader's repair — delivered as ONE append batch (or snapshot) —
+// overwrites the entry at that index, commits and applies past it, all
+// within a single handler call. The Submit waiter then wakes with
+// applied>=idx having had no scheduling gap in which to observe the role
+// change mid-loop; it must still report failure, never return the
+// overwriting entry's result as its own success.
+func TestDeposedSubmitNeverFalselySucceeds(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := ethernet.NewBus(eng)
+	host := kernel.NewHost(eng, bus, 0, "r0")
+	sm := &wbSM{}
+	r := New(host, Config{Name: "kv", Group: vid.GroupHomeRSM, ID: 0, N: 3}, sm, NewStore())
+
+	// Hand the lone replica unfenced leadership of term 1 directly: its two
+	// peers are absent, so nothing it proposes can reach a majority.
+	r.role = leader
+	r.st.Term = 1
+	r.nextIndex = make([]uint32, r.cfg.N)
+	r.matchIndex = make([]uint32, r.cfg.N)
+
+	var (
+		res  []byte
+		err  error
+		done bool
+	)
+	host.SpawnServer("waiter", 4096, func(ctx *kernel.ProcCtx) {
+		res, err = r.Submit(ctx, []byte("k=stale"))
+		done = true
+	})
+
+	// While the waiter blocks, replay what a healed partition delivers in a
+	// single handleAppend/handleSnap invocation from a higher-term leader:
+	// deposal, the stale entry overwritten, commit and apply past it —
+	// atomically with respect to the waiter's process.
+	eng.At(eng.Now().Add(500*time.Millisecond), func() {
+		idx := r.lastIndex() // the stale proposal's index
+		if idx == 0 || r.termAt(idx) != 1 {
+			t.Errorf("stale entry not in place at idx=%d", idx)
+			return
+		}
+		r.stepDown(2, eng.Now())
+		r.st.Log[idx-r.st.SnapIndex-1] = Entry{Term: 2, Cmd: []byte("k=other")}
+		r.noteCommit(nil, idx)
+	})
+	eng.RunFor(2 * time.Second)
+
+	if !done {
+		t.Fatal("Submit never returned")
+	}
+	if err == nil {
+		t.Fatalf("deposed Submit reported success (res=%q) for an entry that never committed", res)
+	}
+	if err != ErrNotLeader {
+		t.Errorf("want ErrNotLeader, got %v", err)
+	}
+	// The overwriting entry must have applied exactly once — the deposal
+	// path must not disturb the applied log itself.
+	if len(sm.applied) != 1 || !bytes.Equal(sm.applied[0], []byte("k=other")) {
+		t.Errorf("applied log = %q, want exactly [k=other]", sm.applied)
+	}
+}
+
+// TestStepDownSameTermKeepsVote pins the one-vote-per-term invariant: a
+// candidate (which voted for itself) yielding to the term's elected leader
+// steps down without clearing VotedFor, while a strictly higher term does
+// reset it.
+func TestStepDownSameTermKeepsVote(t *testing.T) {
+	eng := sim.NewEngine(1)
+	bus := ethernet.NewBus(eng)
+	host := kernel.NewHost(eng, bus, 0, "r0")
+	r := New(host, Config{Name: "kv", Group: vid.GroupHomeRSM, ID: 0, N: 3}, &wbSM{}, NewStore())
+
+	r.st.Term = 3
+	r.st.VotedFor = 0 // voted for itself as candidate in term 3
+	r.role = candidate
+
+	r.stepDown(3, eng.Now())
+	if r.role != follower {
+		t.Errorf("same-term stepDown left role=%v, want follower", r.role)
+	}
+	if r.st.VotedFor != 0 {
+		t.Errorf("same-term stepDown cleared VotedFor (=%d), breaking one-vote-per-term", r.st.VotedFor)
+	}
+
+	r.stepDown(4, eng.Now())
+	if r.st.Term != 4 || r.st.VotedFor != -1 {
+		t.Errorf("higher-term stepDown: term=%d votedFor=%d, want 4/-1", r.st.Term, r.st.VotedFor)
+	}
+}
